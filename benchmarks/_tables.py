@@ -1,0 +1,37 @@
+"""Shared table-printing helpers for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper figure or
+table reports, in a fixed-width layout that survives CI logs. Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables, or execute
+any bench module directly (``python benchmarks/bench_e1_*.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+    """Print an aligned table with a title banner."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 1e-3:
+            return f"{cell:.2e}"
+        return f"{cell:.3g}"
+    return str(cell)

@@ -1,0 +1,98 @@
+"""E13 — Planar (2-D) Van Atta: full-orientation coverage (extension).
+
+A Van Atta pairs elements through the array *centre*. On a planar grid
+there is a tempting shortcut — pair only across rows (each element with
+its horizontal mirror) — which conjugates the azimuth phase but *repeats*
+the elevation phase. The result retrodirects in azimuth and decoheres the
+moment the node tilts. The correct point-mirror pairing conjugates both
+axes and holds the full gain over the whole orientation grid.
+
+This bench maps monostatic gain over (azimuth, elevation) for both
+wirings of the same 2x2 grid.
+"""
+
+import numpy as np
+
+from repro.piezo.transducer import Transducer
+from repro.vanatta.planar import (
+    PlanarVanAttaArray,
+    grid_positions,
+    planar_monostatic_gain_db,
+    point_mirror_pairs,
+)
+
+from _tables import print_table
+
+F = 18_500.0
+C = 1500.0
+ANGLES = [-45.0, -20.0, 0.0, 20.0, 45.0]
+
+
+def build_arrays():
+    positions = grid_positions(2, 2, C / F / 2.0)
+    omni = Transducer(elevation_rolloff_exponent=0.0)
+    point = PlanarVanAttaArray(
+        positions_m=positions,
+        pairs=tuple(point_mirror_pairs(positions)),
+        element=omni,
+        line_loss_db=0.0,
+    )
+    # Row-only pairing: mirror in u, same w. grid_positions with 'ij'
+    # indexing orders elements (u0,w0),(u0,w1),(u1,w0),(u1,w1).
+    row = PlanarVanAttaArray(
+        positions_m=positions,
+        pairs=((0, 2), (1, 3)),
+        element=omni,
+        line_loss_db=0.0,
+    )
+    return {"point_mirror_2x2": point, "row_paired_2x2": row}
+
+
+def run_orientation_grid():
+    grids = {}
+    for name, arr in build_arrays().items():
+        grids[name] = np.array(
+            [
+                [planar_monostatic_gain_db(arr, F, az, el, C) for el in ANGLES]
+                for az in ANGLES
+            ]
+        )
+    return grids
+
+
+def report(grids):
+    for name, grid in grids.items():
+        rows = [
+            [f"{az:+.0f}"] + [f"{grid[i, j]:.1f}" for j in range(len(ANGLES))]
+            for i, az in enumerate(ANGLES)
+        ]
+        print_table(
+            f"E13: monostatic gain grid, {name} (rows az, cols el, dB)",
+            ["az\\el"] + [f"{e:+.0f}" for e in ANGLES],
+            rows,
+        )
+        print(f"{name}: worst case {grid.min():.1f} dB, "
+              f"spread {grid.max() - grid.min():.1f} dB")
+
+
+def test_e13_planar(benchmark):
+    grids = benchmark(run_orientation_grid)
+    report(grids)
+
+    point = grids["point_mirror_2x2"]
+    row = grids["row_paired_2x2"]
+    el0 = ANGLES.index(0.0)
+    # Point-mirror: full 4-element gain (12.04 dB) everywhere.
+    assert point.min() > 11.9
+    assert point.max() - point.min() < 0.2
+    # Row pairing matches at zero elevation ...
+    np.testing.assert_allclose(row[:, el0], point[:, el0], atol=0.1)
+    # ... but decoheres once the node tilts (4-7 dB across the grid).
+    tilted = [i for i, a in enumerate(ANGLES) if a != 0.0]
+    losses = point[:, tilted] - row[:, tilted]
+    assert losses.min() > 4.0
+    assert losses.max() > 6.0
+
+
+if __name__ == "__main__":
+    report(run_orientation_grid())

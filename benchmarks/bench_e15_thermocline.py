@@ -1,0 +1,82 @@
+"""E15 — Seasonal stratification: where can a node be moored? (extension)
+
+The coastal-monitoring application ultimately has to survive summer.
+A warm mixed layer over a thermocline refracts sound downward, creating
+geometric shadow zones below the layer. This bench maps reader-to-node
+reachability (direct-eigenray existence) over a (range, node-depth) grid
+for a winter (well-mixed) and a summer (stratified) profile.
+
+Shape: winter — everything reachable; summer — downward refraction
+drives both direct and surface-reflected rays into the bottom, opening a
+shadow zone beyond ~1.4 km at every node depth.
+"""
+
+import numpy as np
+
+from repro.acoustics.raytrace import in_shadow_zone
+from repro.acoustics.ssp import SoundSpeedProfile
+
+from _tables import print_table
+
+READER_DEPTH = 3.0
+BOTTOM = 200.0
+RANGES = [400.0, 800.0, 1200.0, 1600.0]
+NODE_DEPTHS = [6.0, 30.0, 60.0, 120.0]
+
+
+def run_reachability_grids():
+    winter = SoundSpeedProfile.isothermal(1480.0, max_depth_m=BOTTOM)
+    summer = SoundSpeedProfile.summer_thermocline(max_depth_m=BOTTOM)
+    grids = {}
+    for name, ssp in (("winter_mixed", winter), ("summer_stratified", summer)):
+        grid = {}
+        for r in RANGES:
+            for z in NODE_DEPTHS:
+                grid[(r, z)] = not in_shadow_zone(
+                    ssp, READER_DEPTH, z, r, bottom_depth_m=BOTTOM
+                )
+        grids[name] = grid
+    return grids
+
+
+def report(grids):
+    for name, grid in grids.items():
+        rows = []
+        for z in NODE_DEPTHS:
+            rows.append(
+                [f"{z:.0f}"] + [
+                    "reachable" if grid[(r, z)] else "SHADOW" for r in RANGES
+                ]
+            )
+        print_table(
+            f"E15: direct-ray reachability, {name} "
+            f"(reader at {READER_DEPTH:.0f} m; rows node depth, cols range)",
+            ["depth\\range"] + [f"{r:.0f}" for r in RANGES],
+            rows,
+        )
+    summer = grids["summer_stratified"]
+    shadowed = sum(1 for ok in summer.values() if not ok)
+    print(f"summer shadow cells: {shadowed}/{len(summer)}")
+
+
+def test_e15_thermocline(benchmark):
+    grids = benchmark.pedantic(run_reachability_grids, rounds=1, iterations=1)
+    report(grids)
+
+    winter = grids["winter_mixed"]
+    summer = grids["summer_stratified"]
+    # Winter: iso-speed water has no refraction shadows.
+    assert all(winter.values())
+    # Summer: the shadow zone opens at long range, at every node depth.
+    for z in NODE_DEPTHS:
+        assert not summer[(1600.0, z)]
+    # Close-in nodes stay reachable.
+    assert all(summer[(400.0, z)] for z in NODE_DEPTHS)
+    assert all(summer[(800.0, z)] for z in NODE_DEPTHS)
+    # Stratification only removes reachability, never adds it.
+    for key, ok in summer.items():
+        assert winter[key] or not ok
+
+
+if __name__ == "__main__":
+    report(run_reachability_grids())

@@ -1,0 +1,115 @@
+"""E16 — Equalised reception in the real multipath channel (extension).
+
+Receiver features under test: the chip-spaced decision-feedback
+equaliser (bounded to a physical ~3-chip span) plus the +-4-sample
+timing search (multipath superposition pulls the correlation peak off
+the true chip boundary).
+
+E11 shows deployment geometries where the image-method channel fades the
+link by up to ~9 dB and smears chips across hundreds of microseconds.
+This bench re-runs the worst geometries with the chip-spaced
+decision-feedback equaliser enabled, measuring how much of the multipath
+penalty the receiver wins back.
+"""
+
+import dataclasses
+
+from repro.core import Scenario
+from repro.geometry.placement import Pose
+from repro.geometry.vec3 import Vec3
+from repro.phy.receiver import ReaderReceiver
+from repro.sim.trials import TrialCampaign
+
+from _tables import print_table
+
+WATER_DEPTH = 6.0
+GEOMETRIES = [
+    # (range_m, depth_fraction) — includes the E11 fade cells.
+    (120.0, 0.25),
+    (120.0, 0.5),
+    (200.0, 0.25),
+    (200.0, 0.75),
+    (280.0, 0.5),
+]
+TRIALS = 8
+
+
+def multipath_scenario(range_m, z_fraction):
+    z = WATER_DEPTH * z_fraction
+    base = Scenario.river(range_m=range_m)
+    water = dataclasses.replace(base.water, depth_m=WATER_DEPTH)
+    return dataclasses.replace(
+        base,
+        water=water,
+        reader=Pose(Vec3(0.0, 0.0, z)),
+        node=Pose(Vec3(range_m, 0.0, z), 180.0),
+        max_bounces=2,
+        name="multipath-eq",
+    )
+
+
+def make_receiver(equalizer_taps, timing_search=0):
+    def factory(scenario):
+        return ReaderReceiver(
+            fs=scenario.fs,
+            chip_rate=scenario.chip_rate,
+            equalizer_taps=equalizer_taps,
+            timing_search=timing_search,
+        )
+    return factory
+
+
+def run_equalizer_study():
+    rows = []
+    for idx, (r, zf) in enumerate(GEOMETRIES):
+        sc = multipath_scenario(r, zf)
+        plain = TrialCampaign(
+            trials_per_point=TRIALS, seed=160,
+            receiver_factory=make_receiver(0),
+        ).run_point(sc, point_index=idx)
+        equalised = TrialCampaign(
+            trials_per_point=TRIALS, seed=160,
+            receiver_factory=make_receiver(24, timing_search=4),
+        ).run_point(sc, point_index=idx)
+        rows.append(
+            {
+                "range_m": r,
+                "depth_m": WATER_DEPTH * zf,
+                "plain_ok": plain.frame_success_rate,
+                "plain_snr": plain.mean_snr_db,
+                "eq_ok": equalised.frame_success_rate,
+                "eq_snr": equalised.mean_snr_db,
+            }
+        )
+    return rows
+
+
+def report(rows):
+    print_table(
+        "E16: DFE in the image-method channel (river, 6 m column)",
+        ["range_m", "depth_m", "plain_ok", "plain_snr", "dfe_ok", "dfe_snr"],
+        [
+            [f"{r['range_m']:.0f}", f"{r['depth_m']:.1f}",
+             f"{r['plain_ok']:.2f}", f"{r['plain_snr']:.1f}",
+             f"{r['eq_ok']:.2f}", f"{r['eq_snr']:.1f}"]
+            for r in rows
+        ],
+    )
+
+
+def test_e16_equalizer(benchmark):
+    rows = benchmark.pedantic(run_equalizer_study, rounds=1, iterations=1)
+    report(rows)
+
+    # The enhanced receiver never hurts frame delivery and recovers SNR
+    # in the smeared geometries.
+    for r in rows:
+        assert r["eq_ok"] >= r["plain_ok"] - 1e-9
+    mean_gain = sum(r["eq_snr"] - r["plain_snr"] for r in rows) / len(rows)
+    assert mean_gain > 0.2
+    # Aggregate delivery strictly improves (the faded cells recover).
+    assert sum(r["eq_ok"] for r in rows) > sum(r["plain_ok"] for r in rows) + 0.3
+
+
+if __name__ == "__main__":
+    report(run_equalizer_study())

@@ -1,0 +1,94 @@
+"""E18 — System bandwidth: the piezo Q trade (extension).
+
+The transducer's quality factor buys conversion efficiency at the price
+of bandwidth, and bandwidth is chip rate. This bench regenerates the
+composite system response (two-way element conversion x modulation-depth
+degradation off the matching design point) across Q, and the chip rate
+each build supports — the design chart behind the PHY's 2 kchip/s
+default and the paper's kbps-class throughput.
+"""
+
+import numpy as np
+
+from repro.piezo.bvd import BVDModel
+from repro.vanatta.array import VanAttaArray
+from repro.vanatta.wideband import (
+    max_chip_rate_for_bandwidth,
+    system_response,
+    usable_bandwidth_hz,
+)
+
+from _tables import print_table
+
+F0 = 18_500.0
+QS = [4.0, 7.0, 12.0, 20.0, 40.0]
+
+
+def run_bandwidth_study():
+    rows = []
+    for q in QS:
+        bvd = BVDModel.from_resonance(F0, q_factor=q)
+        bw3 = usable_bandwidth_hz(bvd, drop_db=3.0)
+        bw6 = usable_bandwidth_hz(bvd, drop_db=6.0)
+        rows.append(
+            {
+                "q": q,
+                "electrical_bw": bvd.bandwidth_hz(),
+                "bw3": bw3,
+                "bw6": bw6,
+                "chip_rate": max_chip_rate_for_bandwidth(bw6),
+            }
+        )
+
+    # Shape of the default element's response across the band.
+    bvd = BVDModel.vab_element()
+    array = VanAttaArray.uniform(4, frequency_hz=F0, sound_speed=1480.0)
+    freqs = np.linspace(0.85 * F0, 1.15 * F0, 13)
+    response = system_response(array, bvd, freqs, sound_speed=1480.0)
+    return rows, response
+
+
+def report(rows, response):
+    print_table(
+        "E18: bandwidth and supported chip rate vs element Q",
+        ["Q", "electrical_bw_hz", "bw_3dB_hz", "bw_6dB_hz", "chip_rate_cps"],
+        [
+            [f"{r['q']:.0f}", f"{r['electrical_bw']:.0f}", f"{r['bw3']:.0f}",
+             f"{r['bw6']:.0f}", f"{r['chip_rate']:.0f}"]
+            for r in rows
+        ],
+    )
+    print_table(
+        "E18: composite response of the default (Q=7) element",
+        ["freq_hz", "element_db", "depth_db", "total_db"],
+        [
+            [f"{f:.0f}", f"{e:.1f}", f"{d:.1f}", f"{t:.1f}"]
+            for f, e, d, t in zip(
+                response.frequencies_hz, response.element_db,
+                response.depth_db, response.total_db,
+            )
+        ],
+    )
+
+
+def test_e18_bandwidth(benchmark):
+    rows, response = benchmark(run_bandwidth_study)
+    report(rows, response)
+
+    # Bandwidth and chip rate fall monotonically with Q.
+    bws = [r["bw6"] for r in rows]
+    assert bws == sorted(bws, reverse=True)
+    # The default build (Q=7) supports the ~1 kbps-class PHY the paper
+    # operates; a Q=40 air-type build would not.
+    by_q = {r["q"]: r for r in rows}
+    assert by_q[7.0]["chip_rate"] > 900.0
+    assert by_q[40.0]["chip_rate"] < 400.0
+    # The composite response peaks at 0 dB near resonance and is down
+    # several dB at the band edges.
+    assert response.total_db.max() == 0.0
+    assert response.total_db[0] < -6.0
+    assert response.total_db[-1] < -6.0
+
+
+if __name__ == "__main__":
+    report(*run_bandwidth_study())

@@ -1,0 +1,101 @@
+"""E4 — Head-to-head against the prior state of the art (paper: 15x table).
+
+Same reader power, same throughput, same water, same noise: only the node
+architecture and its first-generation reader deficits differ. The paper
+reports a 15x communication-range improvement at BER 1e-3; this bench
+regenerates the comparison from both the analytic budget and waveform
+spot checks on each side of each system's cliff.
+"""
+
+from repro.baselines.pab import PAB_SI_SUPPRESSION_DB, pab_link_budget, pab_node
+from repro.core import Scenario, default_vab_budget
+from repro.sim.trials import TrialCampaign
+
+from _tables import print_table
+
+TARGET_BER = 1e-3
+
+
+def run_head_to_head():
+    sc = Scenario.river()
+    vab_budget = default_vab_budget(sc)
+    pab_budget = pab_link_budget(sc)
+    vab_range = vab_budget.max_range_m(TARGET_BER)
+    pab_range = pab_budget.max_range_m(TARGET_BER)
+
+    # Waveform spot checks: each system inside and beyond its own cliff.
+    checks = {}
+    vab_campaign = TrialCampaign(trials_per_point=8, seed=44)
+    pab_campaign = TrialCampaign(
+        trials_per_point=8, seed=45, node_factory=pab_node,
+        si_suppression_db=PAB_SI_SUPPRESSION_DB,
+    )
+    checks["vab_inside"] = vab_campaign.run_point(
+        Scenario.river(range_m=round(vab_range * 0.8))
+    )
+    checks["vab_beyond"] = vab_campaign.run_point(
+        Scenario.river(range_m=round(vab_range * 1.8))
+    )
+    checks["pab_inside"] = pab_campaign.run_point(
+        Scenario.river(range_m=max(round(pab_range * 0.6), 2))
+    )
+    checks["pab_beyond"] = pab_campaign.run_point(
+        Scenario.river(range_m=round(pab_range * 3.0))
+    )
+    return vab_budget, pab_budget, vab_range, pab_range, checks
+
+
+def report(vab_budget, pab_budget, vab_range, pab_range, checks):
+    rows = [
+        [
+            "VAB (this paper)",
+            f"{vab_budget.array_gain_db:.1f}",
+            f"{vab_budget.modulation_depth:.2f}",
+            "coherent",
+            f"{vab_range:.0f}",
+        ],
+        [
+            "PAB (prior SOTA)",
+            f"{pab_budget.array_gain_db:.1f}",
+            f"{pab_budget.modulation_depth:.2f}",
+            "noncoherent",
+            f"{pab_range:.0f}",
+        ],
+    ]
+    print_table(
+        "E4: head-to-head at equal power and throughput (river, BER 1e-3)",
+        ["system", "array_gain_db", "mod_depth", "detection", "max_range_m"],
+        rows,
+    )
+    print(f"range improvement: {vab_range / pab_range:.1f}x (paper: 15x)")
+    spot = [
+        [name, f"{p.range_m:.0f}", f"{p.frame_success_rate:.2f}", f"{p.ber:.3f}"]
+        for name, p in checks.items()
+    ]
+    print_table(
+        "E4: waveform spot checks",
+        ["check", "range_m", "frame_ok", "ber"],
+        spot,
+    )
+
+
+def test_e4_head_to_head(benchmark):
+    vab_budget, pab_budget, vab_range, pab_range, checks = benchmark.pedantic(
+        run_head_to_head, rounds=1, iterations=1
+    )
+    report(vab_budget, pab_budget, vab_range, pab_range, checks)
+
+    ratio = vab_range / pab_range
+    # The paper's 15x claim: allow a band around it (simulated substrate).
+    assert 10.0 < ratio < 22.0, f"range ratio {ratio:.1f}x out of band"
+    assert vab_range > 300.0
+    assert pab_range < 40.0
+    # Waveform checks agree with each budget's cliff.
+    assert checks["vab_inside"].frame_success_rate >= 0.9
+    assert checks["vab_beyond"].frame_success_rate <= 0.2
+    assert checks["pab_inside"].frame_success_rate >= 0.9
+    assert checks["pab_beyond"].frame_success_rate <= 0.2
+
+
+if __name__ == "__main__":
+    report(*run_head_to_head())

@@ -1,0 +1,64 @@
+"""E5 — Scaling with array size (paper: SNR/range vs number of elements).
+
+Paper shape: retrodirective field gain grows as 20 log10 N (6 dB per
+doubling), and each 6 dB buys a predictable range extension through the
+round-trip sonar equation — with diminishing absolute returns as
+absorption accumulates.
+"""
+
+from repro.core import Scenario, default_vab_budget
+from repro.vanatta.scaling import peak_gain_db
+
+from _tables import print_table
+
+ELEMENT_COUNTS = [1, 2, 4, 8, 16]
+
+
+def run_scaling_sweep():
+    sc = Scenario.river()
+    rows = []
+    for n in ELEMENT_COUNTS:
+        budget = default_vab_budget(sc, num_elements=n)
+        rows.append(
+            {
+                "n": n,
+                "ideal_gain_db": peak_gain_db(n),
+                "model_gain_db": budget.array_gain_db,
+                "snr_100m_db": budget.snr_db(100.0),
+                "max_range_m": budget.max_range_m(1e-3),
+            }
+        )
+    return rows
+
+
+def report(rows):
+    print_table(
+        "E5: aperture scaling (river link budget)",
+        ["elements", "ideal_gain_db", "model_gain_db", "snr@100m_db", "max_range_m"],
+        [
+            [r["n"], f"{r['ideal_gain_db']:.1f}", f"{r['model_gain_db']:.1f}",
+             f"{r['snr_100m_db']:.1f}", f"{r['max_range_m']:.0f}"]
+            for r in rows
+        ],
+    )
+
+
+def test_e5_scaling(benchmark):
+    rows = benchmark(run_scaling_sweep)
+    report(rows)
+
+    gains = [r["model_gain_db"] for r in rows]
+    ranges = [r["max_range_m"] for r in rows]
+    # 6 dB per doubling (minus fixed line loss, identical across N).
+    for i in range(len(rows) - 1):
+        assert gains[i + 1] - gains[i] == pytest.approx(6.02, abs=0.1)
+    # Range grows monotonically but with diminishing ratio (absorption).
+    assert all(b > a for a, b in zip(ranges, ranges[1:]))
+    ratios = [b / a for a, b in zip(ranges, ranges[1:])]
+    assert all(r2 <= r1 + 0.02 for r1, r2 in zip(ratios, ratios[1:]))
+
+
+import pytest  # noqa: E402  (used inside the test body)
+
+if __name__ == "__main__":
+    report(run_scaling_sweep())

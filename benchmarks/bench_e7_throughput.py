@@ -1,0 +1,86 @@
+"""E7 — Throughput vs range (paper: rate–range trade-off figure).
+
+Two effects set the curve: (i) a higher chip rate widens the noise
+bandwidth, pulling the BER cliff closer; (ii) at long range the acoustic
+round-trip dominates the exchange, capping goodput regardless of PHY
+rate. The bench sweeps both axes and also regenerates the paper's
+"same throughput as prior work" operating point.
+"""
+
+import dataclasses
+
+from repro.core import Scenario, default_vab_budget
+from repro.link.session import FrameTiming, QuerySession
+from repro.phy.ber import required_snr_db
+
+from _tables import print_table
+
+CHIP_RATES = [500.0, 1_000.0, 2_000.0, 4_000.0]
+RANGES = [50.0, 150.0, 300.0, 450.0]
+PAYLOAD = 8
+
+
+def run_throughput_sweep():
+    rows = []
+    for chip_rate in CHIP_RATES:
+        sc = dataclasses.replace(Scenario.river(), chip_rate=chip_rate)
+        budget = default_vab_budget(sc)
+        timing = FrameTiming(chip_rate=chip_rate)
+        for r in RANGES:
+            frame_ber = budget.ber(r)
+            frame_bits = timing.frame_config.frame_bits(PAYLOAD)
+            p_frame = (1.0 - frame_ber) ** frame_bits
+            session = QuerySession(
+                timing=timing,
+                payload_bytes=PAYLOAD,
+                frame_success_probability=p_frame,
+            )
+            rows.append(
+                {
+                    "chip_rate": chip_rate,
+                    "range_m": r,
+                    "uplink_bps": session.uplink_bitrate_bps(),
+                    "snr_db": budget.snr_db(r),
+                    "p_frame": p_frame,
+                    "goodput_bps": session.goodput_bps(r, sc.water.sound_speed),
+                }
+            )
+    return rows
+
+
+def report(rows):
+    print_table(
+        "E7: goodput vs range and chip rate (river)",
+        ["chip_rate", "range_m", "uplink_bps", "snr_db", "p_frame", "goodput_bps"],
+        [
+            [f"{r['chip_rate']:.0f}", f"{r['range_m']:.0f}",
+             f"{r['uplink_bps']:.0f}", f"{r['snr_db']:.1f}",
+             f"{r['p_frame']:.3f}", f"{r['goodput_bps']:.1f}"]
+            for r in rows
+        ],
+    )
+
+
+def test_e7_throughput(benchmark):
+    rows = benchmark(run_throughput_sweep)
+    report(rows)
+
+    by_rate = {cr: [r for r in rows if r["chip_rate"] == cr] for cr in CHIP_RATES}
+    # Higher chip rate -> less SNR at the same range.
+    for r_idx in range(len(RANGES)):
+        snrs = [by_rate[cr][r_idx]["snr_db"] for cr in CHIP_RATES]
+        assert all(b < a for a, b in zip(snrs, snrs[1:]))
+    # At short range the fastest PHY wins on goodput.
+    short = [by_rate[cr][0]["goodput_bps"] for cr in CHIP_RATES]
+    assert short[-1] > short[0]
+    # At 450 m the fast PHYs have fallen off their cliff while the slow
+    # one still delivers: a rate-range crossover exists.
+    far = {cr: by_rate[cr][-1]["goodput_bps"] for cr in CHIP_RATES}
+    assert far[500.0] > far[4_000.0]
+    # Goodput never exceeds the raw uplink bitrate.
+    for r in rows:
+        assert r["goodput_bps"] <= r["uplink_bps"] + 1e-9
+
+
+if __name__ == "__main__":
+    report(run_throughput_sweep())

@@ -1,0 +1,81 @@
+"""E8 — Node power budget (paper: ultra-low-power table).
+
+Regenerates (a) the per-component consumption breakdown of the
+battery-free node and (b) the harvested-vs-consumed crossover: out to
+what range does the reader's own carrier keep the node alive, and how
+does duty cycling stretch it.
+"""
+
+from repro.core import Scenario, default_vab_budget
+from repro.vanatta.node import VanAttaNode
+
+from _tables import print_table
+
+BITRATE = 1_000.0
+RANGES = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0]
+
+
+def run_power_study():
+    node = VanAttaNode()
+    sc = Scenario.river()
+    budget = default_vab_budget(sc)
+    breakdown = node.budget.breakdown(BITRATE)
+    total = node.average_power_w(BITRATE)
+
+    harvest_rows = []
+    for r in RANGES:
+        incident = budget.incident_level_db(r)
+        harvested = node.harvested_power_w(incident, sc.carrier_hz)
+        harvest_rows.append(
+            {
+                "range_m": r,
+                "incident_db": incident,
+                "harvested_uw": harvested * 1e6,
+                "consumed_uw": total * 1e6,
+                "sustainable": harvested >= total,
+            }
+        )
+    return node, breakdown, total, harvest_rows
+
+
+def report(node, breakdown, total, harvest_rows):
+    rows = [[k, f"{v * 1e6:.3f}"] for k, v in breakdown.items()]
+    rows.append(["switch gate drive",
+                 f"{(node.average_power_w(BITRATE) - node.budget.average_power_w(BITRATE)) * 1e6:.3f}"])
+    rows.append(["TOTAL", f"{total * 1e6:.3f}"])
+    print_table(
+        f"E8: node consumption breakdown at {BITRATE:.0f} bps "
+        f"(duty cycle {node.budget.duty_cycle:.0%})",
+        ["component", "avg_power_uW"],
+        rows,
+    )
+    print_table(
+        "E8: harvested vs consumed across range (reader carrier as source)",
+        ["range_m", "incident_dB", "harvested_uW", "consumed_uW", "self_sustaining"],
+        [
+            [f"{r['range_m']:.0f}", f"{r['incident_db']:.1f}",
+             f"{r['harvested_uw']:.3f}", f"{r['consumed_uw']:.3f}",
+             "yes" if r["sustainable"] else "no"]
+            for r in harvest_rows
+        ],
+    )
+
+
+def test_e8_power(benchmark):
+    node, breakdown, total, harvest_rows = benchmark(run_power_study)
+    report(node, breakdown, total, harvest_rows)
+
+    # Ultra-low power: single-digit microwatts average.
+    assert total < 10e-6
+    # Harvesting decays monotonically with range.
+    harvested = [r["harvested_uw"] for r in harvest_rows]
+    assert all(b <= a for a, b in zip(harvested, harvested[1:]))
+    # Self-sustaining near the reader, not at the far end of the sweep.
+    assert harvest_rows[0]["sustainable"]
+    assert not harvest_rows[-1]["sustainable"]
+    # The breakdown sums to the MCU budget (gate drive accounted apart).
+    assert sum(breakdown.values()) <= total
+
+
+if __name__ == "__main__":
+    report(*run_power_study())

@@ -1,0 +1,125 @@
+"""E9 — Design ablations (paper: cross-polarity pairing & switch design).
+
+Two knobs the paper co-designs:
+
+1. **Pair wiring.** Cross-polarity pairing co-phases all pair lines; the
+   naive wiring leaves alternating pairs pi out of phase and destroys the
+   coherent sum.
+2. **Modulation termination.** The switch's OFF-state load sets the
+   ON/OFF reflection contrast — the budget's modulation depth. Sweeping
+   the termination from conjugate match (ideal) to a pure resistor shows
+   how much range the matching network is worth.
+"""
+
+import numpy as np
+
+from repro.core import Scenario
+from repro.piezo.bvd import BVDModel
+from repro.piezo.matching import modulation_depth_for
+from repro.piezo.transducer import Transducer
+from repro.sim.linkbudget import LinkBudget
+from repro.vanatta.array import VanAttaArray
+from repro.vanatta.polarity import PairingScheme
+from repro.vanatta.retrodirective import monostatic_gain_db
+
+from _tables import print_table
+
+F = 18_500.0
+C = 1480.0
+
+
+def run_pairing_ablation():
+    base = VanAttaArray.uniform(4, frequency_hz=F, sound_speed=C)
+    rows = []
+    for scheme in PairingScheme:
+        arr = VanAttaArray(
+            positions_m=base.positions_m,
+            pairs=base.pairs,
+            element=Transducer(),
+            pairing=scheme,
+        )
+        gains = [monostatic_gain_db(arr, F, t, C) for t in (0.0, 30.0, 60.0)]
+        rows.append({"scheme": scheme.value, "gains": gains})
+    return rows
+
+
+def run_termination_sweep():
+    bvd = BVDModel.vab_element()
+    f = bvd.series_resonance_hz
+    sc = Scenario.river()
+    rows = []
+    terminations = [
+        ("conjugate match (paper)", None),
+        ("50 ohm resistor", complex(50.0, 0.0)),
+        ("500 ohm resistor", complex(500.0, 0.0)),
+        ("open (no termination)", complex(1e9, 0.0)),
+    ]
+    for name, z_off in terminations:
+        from repro.piezo.matching import power_wave_reflection, reflection_states
+
+        g_on, g_off = reflection_states(bvd, f, z_off=z_off)
+        depth = max(min(abs(g_on - g_off) / 2.0, 1.0), 1e-3)
+        harvest_fraction = max(0.0, 1.0 - abs(g_off) ** 2)
+        budget = LinkBudget(scenario=sc, array_gain_db=11.5, modulation_depth=depth)
+        rows.append(
+            {
+                "name": name,
+                "depth": depth,
+                "harvest_fraction": harvest_fraction,
+                "range_m": budget.max_range_m(1e-3),
+            }
+        )
+    return rows
+
+
+def report(pairing_rows, termination_rows):
+    print_table(
+        "E9a: pair-wiring ablation (monostatic gain, dB)",
+        ["wiring", "gain@0deg", "gain@30deg", "gain@60deg"],
+        [
+            [r["scheme"]] + [f"{g:.1f}" for g in r["gains"]]
+            for r in pairing_rows
+        ],
+    )
+    print_table(
+        "E9b: switch termination: contrast vs OFF-state harvesting",
+        ["off_state_termination", "mod_depth", "harvest_frac", "max_range_m"],
+        [
+            [r["name"], f"{r['depth']:.3f}", f"{r['harvest_fraction']:.2f}",
+             f"{r['range_m']:.0f}"]
+            for r in termination_rows
+        ],
+    )
+    print(
+        "note: open/short keying maximises contrast but harvests nothing in\n"
+        "the OFF state; the paper's conjugate match trades ~6 dB of sideband\n"
+        "for a node that can power itself."
+    )
+
+
+def test_e9_ablation(benchmark):
+    pairing_rows, termination_rows = benchmark(
+        lambda: (run_pairing_ablation(), run_termination_sweep())
+    )
+    report(pairing_rows, termination_rows)
+
+    by_scheme = {r["scheme"]: r["gains"] for r in pairing_rows}
+    # Cross-polarity dominates the alternatives at every angle.
+    for scheme in ("direct", "random"):
+        for g_good, g_bad in zip(by_scheme["cross_polarity"], by_scheme[scheme]):
+            assert g_good > g_bad + 3.0
+    # The co-design trade-off: the conjugate match is the only
+    # termination that harvests (nearly) all OFF-state energy, while
+    # keeping at least half the ideal open/short contrast.
+    match = termination_rows[0]
+    open_term = termination_rows[-1]
+    assert match["harvest_fraction"] > 0.95
+    assert open_term["harvest_fraction"] < 0.1
+    assert match["depth"] >= 0.45
+    # Among harvest-capable terminations (>50% captured), match wins range.
+    harvesters = [r for r in termination_rows if r["harvest_fraction"] > 0.5]
+    assert match["range_m"] == max(r["range_m"] for r in harvesters)
+
+
+if __name__ == "__main__":
+    report(run_pairing_ablation(), run_termination_sweep())

@@ -1,0 +1,50 @@
+"""Link adaptation in practice: one reader, nodes at many ranges.
+
+For each node the reader consults its link budget and picks the PHY mode
+(chip rate + FEC) that maximises goodput while keeping retries sane —
+then the schedule shows what the network actually delivers.
+
+Run:  python examples/link_adaptation.py
+"""
+
+from repro.core import Scenario, default_vab_budget
+from repro.link.adaptive import (
+    DEFAULT_MODES,
+    adaptive_goodput_bps,
+    frame_delivery_probability,
+    mode_goodput_bps,
+    select_mode,
+)
+
+NODE_RANGES = [40.0, 120.0, 220.0, 320.0, 420.0]
+
+
+def main() -> None:
+    budget = default_vab_budget(Scenario.river())
+
+    print(f"{'node@range':>12} {'chosen mode':>14} {'p(frame)':>9} "
+          f"{'goodput':>9}")
+    total = 0.0
+    for r in NODE_RANGES:
+        mode = select_mode(budget, r)
+        if mode is None:
+            print(f"{r:>10.0f} m {'(unreachable)':>14}")
+            continue
+        p = frame_delivery_probability(budget, mode, r)
+        goodput = adaptive_goodput_bps(budget, r)
+        total += goodput
+        print(f"{r:>10.0f} m {mode.name:>14} {p:>9.3f} {goodput:>7.1f} b/s")
+
+    print(f"\nnetwork aggregate (round-robin): "
+          f"{total / len(NODE_RANGES):.1f} b/s mean per node")
+
+    # What a fixed-rate deployment would have lost:
+    print("\nfixed-mode comparison at the farthest reachable node (420 m):")
+    for mode in DEFAULT_MODES:
+        p = frame_delivery_probability(budget, mode, 420.0)
+        g = mode_goodput_bps(budget, mode, 420.0) if p >= 0.5 else 0.0
+        print(f"  {mode.name:>12}: {g:6.1f} b/s (p(frame) {p:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Receiver features under multipath: DFE, timing search, rake.
+
+Builds a two-path channel by hand (main arrival plus a strong echo) and
+shows what each receiver feature contributes — the E16 experiment at
+workbench scale.
+
+Run:  python examples/multipath_receiver.py
+"""
+
+import numpy as np
+
+from repro.dsp.noisegen import white_noise
+from repro.phy.frame import build_frame
+from repro.phy.rake import estimate_channel
+from repro.phy.receiver import ReaderReceiver
+from repro.vanatta.switching import ModulationSwitch, chips_to_waveform
+
+FS = 16_000.0
+CHIP_RATE = 2_000.0
+SPS = int(FS / CHIP_RATE)
+
+
+def make_record(echo_gain, echo_delay_samples, noise_power, seed=3):
+    """Reader-side record: frame + delayed echo + leak + noise."""
+    chips = np.concatenate(
+        [np.zeros(20, np.int64), build_frame(9, b"multipath demo"), np.zeros(6, np.int64)]
+    )
+    mod = chips_to_waveform(chips, SPS, ModulationSwitch())
+    base = mod.astype(complex)
+    record = base.copy()
+    record[echo_delay_samples:] += echo_gain * base[:-echo_delay_samples]
+    record += 25.0  # carrier leak
+    record += white_noise(len(record), noise_power, np.random.default_rng(seed))
+    return record
+
+
+def describe(name, result):
+    status = "OK " if result.success else "FAIL"
+    print(f"  {name:<28} {status} eye SNR {result.snr_db:6.1f} dB")
+
+
+def main() -> None:
+    # A hostile channel: -1.9 dB echo two chips behind the main arrival.
+    record = make_record(echo_gain=-0.8 + 0.0j, echo_delay_samples=32,
+                         noise_power=0.02)
+
+    print("channel estimate from the preamble:")
+    probe = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+    centred = probe.suppress_carrier(record)
+    det = probe.find_preamble(centred)
+    est = estimate_channel(centred, det, SPS, max_taps=48)
+    for k in np.flatnonzero(est.taps):
+        tap = est.taps[k]
+        print(f"  tap @ {k:2d} samples ({k / SPS:.2f} chips): "
+              f"|h| = {abs(tap):.3f}, phase {np.angle(tap):+.2f} rad")
+
+    print("\nreceiver variants on the same record:")
+    describe("plain slicer", ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+             .demodulate(record))
+    describe("rake (MRC)", ReaderReceiver(fs=FS, chip_rate=CHIP_RATE,
+                                          rake_taps=48).demodulate(record))
+    describe("DFE", ReaderReceiver(fs=FS, chip_rate=CHIP_RATE,
+                                   equalizer_taps=48).demodulate(record))
+    describe("DFE + timing search",
+             ReaderReceiver(fs=FS, chip_rate=CHIP_RATE, equalizer_taps=48,
+                            timing_search=4).demodulate(record))
+
+    print("\nlesson: for unspread OOK the echo is inter-chip interference —")
+    print("decision feedback cancels it; rake alone only re-collects energy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Quickstart: simulate a VAB link in three lines, then look deeper.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Scenario, default_vab_budget, simulate_link
+
+
+def main() -> None:
+    # A node moored 100 m down-range of the reader in a calm river.
+    scenario = Scenario.river(range_m=100.0)
+
+    # Monte-Carlo waveform simulation: 10 complete frame exchanges.
+    report = simulate_link(scenario, trials=10, seed=7)
+    print(f"range            : {report.range_m:.0f} m")
+    print(f"measured BER     : {report.ber:.2e}")
+    print(f"frames delivered : {report.frame_success_rate:.0%}")
+    print(f"predicted SNR    : {report.predicted_snr_db:.1f} dB")
+
+    # The analytic budget answers design questions instantly.
+    budget = default_vab_budget(scenario)
+    print(f"max range @1e-3  : {budget.max_range_m(1e-3):.0f} m")
+    print(f"margin at 100 m  : {budget.margin_db(100.0):.1f} dB")
+
+    # How the budget decomposes (the sonar equation, round trip):
+    print("\nlink budget at 100 m:")
+    print(f"  source level      {budget.scenario.source_level_db:7.1f} dB re 1 uPa @ 1 m")
+    print(f"  one-way loss      {-budget.one_way_loss_db(100.0):7.1f} dB (x2 round trip)")
+    print(f"  reflection gain   {budget.reflection_gain_db():7.1f} dB (array + modulation)")
+    print(f"  noise in band     {budget.noise_level_in_band_db():7.1f} dB re 1 uPa")
+    print(f"  processing gain   {budget.processing_gain_db():7.1f} dB")
+    print(f"  system loss       {-budget.system_loss_db:7.1f} dB")
+    print(f"  => SNR            {budget.snr_db(100.0):7.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Seasonal deployment survey: will the network survive summer?
+
+Uses the ray-tracing substrate to map which mooring spots a surface
+reader can geometrically reach under a winter (well-mixed) and a summer
+(stratified) sound-speed profile — the E15 experiment as a deployment
+planning tool.
+
+Run:  python examples/thermocline_survey.py
+"""
+
+from repro.acoustics.raytrace import find_eigenray, in_shadow_zone, trace_ray
+from repro.acoustics.ssp import SoundSpeedProfile
+
+READER_DEPTH = 3.0
+BOTTOM = 200.0
+
+
+def profile_summary(name, ssp):
+    print(f"{name}:")
+    for z in (0.0, 10.0, 30.0, 100.0):
+        print(f"  c({z:5.1f} m) = {ssp.speed_at(z):7.1f} m/s")
+
+
+def reachability_map(ssp):
+    ranges = [300.0, 600.0, 900.0, 1200.0, 1500.0]
+    depths = [6.0, 30.0, 60.0, 120.0]
+    print("      " + "".join(f"{r:>8.0f}" for r in ranges) + "   (range, m)")
+    for z in depths:
+        cells = []
+        for r in ranges:
+            dark = in_shadow_zone(ssp, READER_DEPTH, z, r, bottom_depth_m=BOTTOM)
+            cells.append("   dark " if dark else "     ok ")
+        print(f"{z:5.0f} " + "".join(cells))
+
+
+def ray_fan_demo(ssp):
+    print("\nray fan from the reader (summer profile):")
+    for angle in (-2.0, 0.0, 2.0, 5.0):
+        ray = trace_ray(ssp, READER_DEPTH, angle, 1500.0, bottom_depth_m=BOTTOM)
+        end_depth = ray.z_m[-1]
+        print(
+            f"  launch {angle:+5.1f} deg -> ends at {end_depth:6.1f} m depth, "
+            f"{ray.surface_hits} surface / {ray.bottom_hits} bottom hits"
+        )
+
+
+def main() -> None:
+    winter = SoundSpeedProfile.isothermal(1480.0, max_depth_m=BOTTOM)
+    summer = SoundSpeedProfile.summer_thermocline(max_depth_m=BOTTOM)
+
+    profile_summary("winter (well mixed)", winter)
+    profile_summary("summer (stratified)", summer)
+
+    print("\nwinter reachability (node depth rows):")
+    reachability_map(winter)
+    print("\nsummer reachability:")
+    reachability_map(summer)
+
+    ray_fan_demo(summer)
+
+    # A concrete mooring decision.
+    eigen = find_eigenray(summer, READER_DEPTH, 30.0, 900.0, bottom_depth_m=BOTTOM)
+    if eigen is not None:
+        print(
+            f"\nsummer, node at 30 m / 900 m: reachable via launch "
+            f"{eigen.launch_angle_deg:+.1f} deg, travel {eigen.travel_time_s:.2f} s"
+        )
+    else:
+        print("\nsummer, node at 30 m / 900 m: in the shadow zone — re-moor it")
+
+
+if __name__ == "__main__":
+    main()

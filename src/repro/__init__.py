@@ -1,0 +1,23 @@
+"""VAB: Van Atta Acoustic Backscatter — a SIGCOMM 2023 reproduction.
+
+Long-range, ultra-low-power underwater backscatter networking built on a
+retrodirective (Van Atta) piezo-acoustic array, reproduced end to end in
+simulation: channel physics, transducer circuits, array wiring, PHY DSP,
+link layer, and the paper's full evaluation harness.
+
+Quick start::
+
+    from repro.core import Scenario, simulate_link
+
+    report = simulate_link(Scenario.river(range_m=100.0), trials=10)
+    print(f"BER {report.ber:.2e} at {report.range_m:.0f} m")
+
+Package map (bottom-up): :mod:`repro.geometry`, :mod:`repro.acoustics`,
+:mod:`repro.dsp`, :mod:`repro.piezo`, :mod:`repro.vanatta`,
+:mod:`repro.phy`, :mod:`repro.link`, :mod:`repro.sim`,
+:mod:`repro.baselines`, :mod:`repro.core`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,96 @@
+"""Underwater acoustic channel substrate.
+
+This package implements the physical-layer environment the paper's
+experiments run in:
+
+* :mod:`repro.acoustics.constants` — water properties and sound speed.
+* :mod:`repro.acoustics.absorption` — frequency-dependent absorption
+  (Thorp and Francois–Garrison models).
+* :mod:`repro.acoustics.spreading` — geometric spreading loss.
+* :mod:`repro.acoustics.noise` — Wenz ambient-noise spectra and coloured
+  noise synthesis.
+* :mod:`repro.acoustics.propagation` — image-method multipath ray tracing
+  between two points in a shallow-water waveguide.
+* :mod:`repro.acoustics.surface` — sea-surface state (roughness loss and
+  wave-induced Doppler on surface-reflected paths).
+* :mod:`repro.acoustics.channel` — time-domain channel application: turns a
+  set of propagation paths into a tapped-delay-line filter on complex
+  baseband samples.
+
+All levels follow underwater conventions: pressures in dB re 1 µPa, source
+levels in dB re 1 µPa @ 1 m, transmission loss in dB.
+"""
+
+from repro.acoustics.constants import (
+    REFERENCE_DISTANCE_M,
+    WaterProperties,
+    sound_speed_mackenzie,
+)
+from repro.acoustics.absorption import (
+    absorption_db_per_km,
+    absorption_francois_garrison,
+    absorption_thorp,
+)
+from repro.acoustics.spreading import (
+    CYLINDRICAL_EXPONENT,
+    PRACTICAL_EXPONENT,
+    SPHERICAL_EXPONENT,
+    amplitude_gain,
+    spreading_loss_db,
+    transmission_loss_db,
+)
+from repro.acoustics.noise import (
+    NoiseConditions,
+    noise_level_db,
+    total_noise_psd_db,
+    wenz_shipping_psd_db,
+    wenz_thermal_psd_db,
+    wenz_turbulence_psd_db,
+    wenz_wind_psd_db,
+)
+from repro.acoustics.doppler import apply_doppler, doppler_factor, doppler_shift_hz
+from repro.acoustics.ssp import SoundSpeedProfile
+from repro.acoustics.raytrace import (
+    RayPath,
+    find_eigenray,
+    in_shadow_zone,
+    trace_ray,
+)
+from repro.acoustics.propagation import Path, trace_paths
+from repro.acoustics.surface import SeaSurface
+from repro.acoustics.channel import AcousticChannel, ChannelResponse
+
+__all__ = [
+    "REFERENCE_DISTANCE_M",
+    "WaterProperties",
+    "sound_speed_mackenzie",
+    "absorption_db_per_km",
+    "absorption_thorp",
+    "absorption_francois_garrison",
+    "spreading_loss_db",
+    "transmission_loss_db",
+    "amplitude_gain",
+    "SPHERICAL_EXPONENT",
+    "PRACTICAL_EXPONENT",
+    "CYLINDRICAL_EXPONENT",
+    "NoiseConditions",
+    "noise_level_db",
+    "total_noise_psd_db",
+    "wenz_turbulence_psd_db",
+    "wenz_shipping_psd_db",
+    "wenz_wind_psd_db",
+    "wenz_thermal_psd_db",
+    "Path",
+    "trace_paths",
+    "SeaSurface",
+    "AcousticChannel",
+    "ChannelResponse",
+    "apply_doppler",
+    "doppler_factor",
+    "doppler_shift_hz",
+    "SoundSpeedProfile",
+    "RayPath",
+    "trace_ray",
+    "find_eigenray",
+    "in_shadow_zone",
+]

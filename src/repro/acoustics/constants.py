@@ -1,0 +1,104 @@
+"""Water properties and sound-speed models.
+
+The sound speed model is Mackenzie (1981), the standard nine-term empirical
+fit, valid for temperature 2–30 degC, salinity 25–40 ppt, depth 0–8000 m.
+River water is handled by allowing salinity down to 0 (the fit degrades
+gracefully and stays within a few m/s of fresh-water tables at the shallow
+depths we care about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+REFERENCE_DISTANCE_M = 1.0
+"""Reference distance for source levels (dB re 1 uPa @ 1 m)."""
+
+REFERENCE_PRESSURE_UPA = 1.0
+"""Reference pressure, micro-pascals."""
+
+DENSITY_SEAWATER_KG_M3 = 1025.0
+"""Nominal sea-water density."""
+
+DENSITY_FRESHWATER_KG_M3 = 1000.0
+"""Nominal fresh-water density."""
+
+
+def sound_speed_mackenzie(
+    temperature_c: float, salinity_ppt: float, depth_m: float
+) -> float:
+    """Sound speed in water via Mackenzie (1981), m/s.
+
+    Args:
+        temperature_c: water temperature, degrees Celsius.
+        salinity_ppt: salinity in parts per thousand (ocean ~35, river ~0).
+        depth_m: depth below the surface, metres.
+
+    Returns:
+        Sound speed in metres per second.
+    """
+    t = temperature_c
+    s = salinity_ppt
+    d = depth_m
+    return (
+        1448.96
+        + 4.591 * t
+        - 5.304e-2 * t**2
+        + 2.374e-4 * t**3
+        + 1.340 * (s - 35.0)
+        + 1.630e-2 * d
+        + 1.675e-7 * d**2
+        - 1.025e-2 * t * (s - 35.0)
+        - 7.139e-13 * t * d**3
+    )
+
+
+@dataclass(frozen=True)
+class WaterProperties:
+    """Bulk properties of the water column at a deployment site.
+
+    Defaults describe temperate coastal sea water. The :meth:`river` and
+    :meth:`ocean` constructors give the two presets used throughout the
+    paper's evaluation (Charles River and Atlantic coastal water).
+    """
+
+    temperature_c: float = 15.0
+    salinity_ppt: float = 35.0
+    ph: float = 8.0
+    depth_m: float = 10.0
+    density_kg_m3: float = DENSITY_SEAWATER_KG_M3
+
+    @property
+    def sound_speed(self) -> float:
+        """Sound speed for these properties (Mackenzie), m/s."""
+        return sound_speed_mackenzie(
+            self.temperature_c, self.salinity_ppt, self.depth_m
+        )
+
+    @staticmethod
+    def river(temperature_c: float = 18.0, depth_m: float = 4.0) -> "WaterProperties":
+        """Fresh, shallow river water (Charles-River-like conditions)."""
+        return WaterProperties(
+            temperature_c=temperature_c,
+            salinity_ppt=0.5,
+            ph=7.0,
+            depth_m=depth_m,
+            density_kg_m3=DENSITY_FRESHWATER_KG_M3,
+        )
+
+    @staticmethod
+    def ocean(temperature_c: float = 12.0, depth_m: float = 15.0) -> "WaterProperties":
+        """Temperate coastal ocean water (Atlantic-coast-like conditions)."""
+        return WaterProperties(
+            temperature_c=temperature_c,
+            salinity_ppt=33.0,
+            ph=8.0,
+            depth_m=depth_m,
+            density_kg_m3=DENSITY_SEAWATER_KG_M3,
+        )
+
+    def wavelength(self, frequency_hz: float) -> float:
+        """Acoustic wavelength at ``frequency_hz``, metres."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.sound_speed / frequency_hz

@@ -1,0 +1,239 @@
+"""Image-method multipath propagation in a shallow-water waveguide.
+
+Shallow deployments (a river a few metres deep, a coastal shelf) behave as
+an acoustic waveguide: energy reaches the receiver via the direct path plus
+families of rays that bounce off the (pressure-release) surface and the
+(lossy) bottom. The image method replaces each bounce family with a mirror
+image of the source, so each path is a straight line with:
+
+* a length (delay and spreading/absorption follow),
+* a per-bounce surface coefficient (about -1, i.e. unity magnitude with a
+  pi phase flip, reduced by roughness scattering), and
+* a per-bounce bottom coefficient (magnitude < 1, from the sediment
+  impedance contrast).
+
+The returned :class:`Path` list is the channel's ground truth; the
+tapped-delay-line in :mod:`repro.acoustics.channel` is built from it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.acoustics.constants import WaterProperties
+from repro.acoustics.spreading import PRACTICAL_EXPONENT, amplitude_gain
+from repro.acoustics.surface import SeaSurface
+from repro.geometry.vec3 import Vec3
+
+
+@dataclass(frozen=True)
+class Path:
+    """One propagation path between two points.
+
+    Attributes:
+        length_m: geometric path length, metres.
+        delay_s: propagation delay, seconds.
+        gain: complex pressure gain (spreading + absorption + boundary
+            coefficients), relative to unit pressure at 1 m from the source.
+        surface_bounces: number of surface reflections along the path.
+        bottom_bounces: number of bottom reflections along the path.
+        departure_deg: elevation angle at the source (positive = upward).
+        arrival_deg: elevation angle at the receiver (positive = from above).
+    """
+
+    length_m: float
+    delay_s: float
+    gain: complex
+    surface_bounces: int
+    bottom_bounces: int
+    departure_deg: float
+    arrival_deg: float
+
+    @property
+    def is_direct(self) -> bool:
+        """True for the bounce-free line-of-sight path."""
+        return self.surface_bounces == 0 and self.bottom_bounces == 0
+
+    @property
+    def gain_db(self) -> float:
+        """Path gain magnitude in dB (negative: it is a loss)."""
+        mag = abs(self.gain)
+        if mag <= 0.0:
+            return -math.inf
+        return 20.0 * math.log10(mag)
+
+
+def bottom_reflection_coefficient(
+    grazing_angle_rad: float,
+    water: WaterProperties,
+    bottom_density_kg_m3: float = 1800.0,
+    bottom_sound_speed_mps: float = 1700.0,
+    bottom_loss_db_per_bounce: float = 2.0,
+) -> complex:
+    """Rayleigh reflection coefficient for a fluid sediment half-space.
+
+    Args:
+        grazing_angle_rad: angle between the ray and the bottom plane.
+        water: water properties above the bottom.
+        bottom_density_kg_m3: sediment density (sand ~1800).
+        bottom_sound_speed_mps: sediment sound speed (sand ~1700).
+        bottom_loss_db_per_bounce: additional scattering/attenuation loss
+            applied per bounce on top of the Rayleigh coefficient.
+
+    Returns:
+        Complex reflection coefficient (|R| <= 1).
+    """
+    c1 = water.sound_speed
+    c2 = bottom_sound_speed_mps
+    rho1 = water.density_kg_m3
+    rho2 = bottom_density_kg_m3
+    theta = max(grazing_angle_rad, 1e-6)
+
+    # Snell: cos(theta2) = (c2/c1) cos(theta1); beyond critical angle the
+    # transmitted wave is evanescent and |R| -> 1.
+    cos_t2 = (c2 / c1) * math.cos(theta)
+    if abs(cos_t2) >= 1.0:
+        sin_t2 = 1j * math.sqrt(cos_t2 * cos_t2 - 1.0)
+    else:
+        sin_t2 = math.sqrt(1.0 - cos_t2 * cos_t2)
+
+    z1 = rho1 * c1 / math.sin(theta)
+    z2 = rho2 * c2 / sin_t2
+    r = (z2 - z1) / (z2 + z1)
+    extra = 10.0 ** (-bottom_loss_db_per_bounce / 20.0)
+    return r * extra
+
+
+def trace_paths(
+    source: Vec3,
+    receiver: Vec3,
+    frequency_hz: float,
+    water: WaterProperties,
+    surface: Optional[SeaSurface] = None,
+    max_bounces: int = 2,
+    spreading_exponent: float = PRACTICAL_EXPONENT,
+    min_gain_db: float = -120.0,
+    bottom_density_kg_m3: float = 1800.0,
+    bottom_sound_speed_mps: float = 1700.0,
+    bottom_loss_db_per_bounce: float = 2.0,
+) -> List[Path]:
+    """Enumerate image-method paths between two points.
+
+    Images are generated for every combination of up to ``max_bounces``
+    total boundary interactions, alternating surface and bottom mirrors.
+    Paths weaker than ``min_gain_db`` relative to 1 m are dropped.
+
+    Args:
+        source: transmit location (z positive down, metres).
+        receiver: receive location.
+        frequency_hz: carrier frequency for absorption and phase.
+        water: water column properties (incl. ``depth_m`` = bottom depth).
+        surface: sea-surface state; default flat/calm.
+        max_bounces: maximum total bounces (surface + bottom) per path.
+        spreading_exponent: geometric spreading exponent.
+        min_gain_db: cull threshold for weak paths.
+        bottom_density_kg_m3: sediment density (sand ~1800, mud ~1400).
+        bottom_sound_speed_mps: sediment sound speed (sand ~1700,
+            mud ~1480 — nearly transparent).
+        bottom_loss_db_per_bounce: extra scattering loss per bottom hit.
+
+    Returns:
+        Paths sorted by increasing delay; the first is the direct path.
+    """
+    if surface is None:
+        surface = SeaSurface.calm()
+    depth = water.depth_m
+    if not 0.0 < source.z < depth or not 0.0 < receiver.z < depth:
+        raise ValueError(
+            "source and receiver must be inside the water column "
+            f"(0 < z < {depth} m): got z_src={source.z}, z_rx={receiver.z}"
+        )
+    c = water.sound_speed
+    k = 2.0 * math.pi * frequency_hz / c
+    horizontal = math.hypot(receiver.x - source.x, receiver.y - source.y)
+
+    paths: List[Path] = []
+    # Image z-coordinates: standard shallow-water image expansion. For a
+    # path with m "periods" and pattern p in {0,1,2,3}:
+    #   z_img = 2*depth*m + s * source.z  with the four sign/offset combos.
+    for total in range(0, max_bounces + 1):
+        for first_surface in (True, False):
+            if total == 0 and not first_surface:
+                continue  # direct path counted once
+            n_surf, n_bot, z_img = _image_depth(
+                source.z, depth, total, first_surface
+            )
+            if z_img is None:
+                continue
+            dz = receiver.z - z_img
+            length = math.hypot(horizontal, dz)
+            if length < 1.0:
+                length = 1.0  # clamp inside the reference distance
+            grazing = math.atan2(abs(dz), horizontal) if horizontal > 0 else math.pi / 2
+
+            gain = amplitude_gain(
+                length, frequency_hz, water, spreading_exponent
+            ) * complex(math.cos(-k * length), math.sin(-k * length))
+            if n_surf:
+                gain *= surface.reflection_coefficient(frequency_hz, grazing) ** n_surf
+            if n_bot:
+                gain *= (
+                    bottom_reflection_coefficient(
+                        grazing,
+                        water,
+                        bottom_density_kg_m3,
+                        bottom_sound_speed_mps,
+                        bottom_loss_db_per_bounce,
+                    )
+                    ** n_bot
+                )
+            is_direct = n_surf == 0 and n_bot == 0
+            if (
+                not is_direct
+                and 20.0 * math.log10(max(abs(gain), 1e-30)) < min_gain_db
+            ):
+                continue  # cull weak echoes, but never the direct path
+
+            departure = math.degrees(math.atan2(-(dz), horizontal))
+            paths.append(
+                Path(
+                    length_m=length,
+                    delay_s=length / c,
+                    gain=gain,
+                    surface_bounces=n_surf,
+                    bottom_bounces=n_bot,
+                    departure_deg=departure,
+                    arrival_deg=-departure,
+                )
+            )
+
+    paths.sort(key=lambda p: p.delay_s)
+    return paths
+
+
+def _image_depth(z_src: float, depth: float, total_bounces: int, first_surface: bool):
+    """Return (surface bounces, bottom bounces, image z) for a bounce family.
+
+    The image of the source after an alternating sequence of surface and
+    bottom reflections lies at a z obtained by repeated mirroring. Sequences
+    must alternate (two consecutive reflections off the same boundary are
+    geometrically impossible for a monotonic ray), so the family is fully
+    described by the total count and which boundary is hit first.
+    """
+    if total_bounces == 0:
+        return 0, 0, z_src
+    z = z_src
+    n_surf = 0
+    n_bot = 0
+    next_surface = first_surface
+    for _ in range(total_bounces):
+        if next_surface:
+            z = -z
+            n_surf += 1
+        else:
+            z = 2.0 * depth - z
+            n_bot += 1
+        next_surface = not next_surface
+    return n_surf, n_bot, z

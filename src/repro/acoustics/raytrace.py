@@ -1,0 +1,254 @@
+"""Ray tracing through a depth-dependent sound-speed profile.
+
+Geometric acoustics: a ray launched at grazing angle ``theta`` (positive
+downward) bends according to Snell's law, ``cos(theta) / c(z)`` constant
+along the ray. Integration runs the coupled ODEs
+
+::
+
+    dx/ds = cos(theta)
+    dz/ds = sin(theta)
+    dtheta/ds = -(dc/dz) * cos(theta) / c
+
+with midpoint (RK2) steps, reflecting specularly at the surface (z = 0)
+and the bottom. Downward-refracting summer profiles produce the *shadow
+zones* that matter for deployment planning: a moored node below the
+thermocline may be geometrically unreachable from a shallow reader, no
+matter the link budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.acoustics.ssp import SoundSpeedProfile
+
+
+@dataclass(frozen=True)
+class RayPath:
+    """One traced ray.
+
+    Attributes:
+        x_m: horizontal coordinates along the ray.
+        z_m: depths along the ray.
+        launch_angle_deg: initial grazing angle (positive down).
+        surface_hits: surface reflections along the path.
+        bottom_hits: bottom reflections along the path.
+        travel_time_s: accumulated travel time.
+    """
+
+    x_m: np.ndarray
+    z_m: np.ndarray
+    launch_angle_deg: float
+    surface_hits: int
+    bottom_hits: int
+    travel_time_s: float
+
+    def depth_at(self, range_m: float) -> Optional[float]:
+        """Ray depth when it first crosses a horizontal range (None if
+        the ray never gets there)."""
+        x = self.x_m
+        if range_m < x[0] or range_m > x[-1]:
+            return None
+        idx = int(np.searchsorted(x, range_m))
+        if idx == 0:
+            return float(self.z_m[0])
+        x0, x1 = x[idx - 1], x[idx]
+        z0, z1 = self.z_m[idx - 1], self.z_m[idx]
+        if x1 == x0:
+            return float(z0)
+        t = (range_m - x0) / (x1 - x0)
+        return float(z0 + t * (z1 - z0))
+
+
+def trace_ray(
+    ssp: SoundSpeedProfile,
+    source_depth_m: float,
+    launch_angle_deg: float,
+    max_range_m: float,
+    bottom_depth_m: Optional[float] = None,
+    step_m: float = 1.0,
+    max_bounces: int = 10,
+) -> RayPath:
+    """Integrate one ray until it reaches ``max_range_m`` or bounces out.
+
+    Args:
+        ssp: the sound-speed profile.
+        source_depth_m: launch depth.
+        launch_angle_deg: grazing angle, positive downward, |angle| < 90.
+        max_range_m: stop when the ray reaches this range.
+        bottom_depth_m: reflecting bottom (profile max depth if None).
+        step_m: arc-length integration step.
+        max_bounces: stop after this many boundary hits.
+
+    Returns:
+        The traced path.
+    """
+    if abs(launch_angle_deg) >= 90.0:
+        raise ValueError("launch angle must be within (-90, 90) degrees")
+    if step_m <= 0:
+        raise ValueError("step must be positive")
+    bottom = ssp.max_depth_m if bottom_depth_m is None else bottom_depth_m
+    if not 0.0 <= source_depth_m <= bottom:
+        raise ValueError("source depth outside the water column")
+
+    theta = math.radians(launch_angle_deg)
+    x, z = 0.0, source_depth_m
+    xs, zs = [x], [z]
+    time_s = 0.0
+    surface_hits = 0
+    bottom_hits = 0
+
+    max_steps = int(4 * max_range_m / step_m) + 1000
+    for _ in range(max_steps):
+        if x >= max_range_m:
+            break
+        c = ssp.speed_at(z)
+        g = ssp.gradient_at(z)
+        # Midpoint step.
+        dtheta = -(g * math.cos(theta)) / c
+        theta_mid = theta + 0.5 * step_m * dtheta
+        z_mid = z + 0.5 * step_m * math.sin(theta)
+        c_mid = ssp.speed_at(z_mid)
+        g_mid = ssp.gradient_at(z_mid)
+        theta += step_m * (-(g_mid * math.cos(theta_mid)) / c_mid)
+        x += step_m * math.cos(theta_mid)
+        z += step_m * math.sin(theta_mid)
+        time_s += step_m / c_mid
+
+        if z <= 0.0:
+            z = -z
+            theta = -theta
+            surface_hits += 1
+        elif z >= bottom:
+            z = 2.0 * bottom - z
+            theta = -theta
+            bottom_hits += 1
+        if surface_hits + bottom_hits > max_bounces:
+            break
+        xs.append(x)
+        zs.append(z)
+
+    return RayPath(
+        x_m=np.array(xs),
+        z_m=np.array(zs),
+        launch_angle_deg=launch_angle_deg,
+        surface_hits=surface_hits,
+        bottom_hits=bottom_hits,
+        travel_time_s=time_s,
+    )
+
+
+def find_eigenray(
+    ssp: SoundSpeedProfile,
+    source_depth_m: float,
+    target_depth_m: float,
+    target_range_m: float,
+    bottom_depth_m: Optional[float] = None,
+    angle_span_deg: float = 30.0,
+    angle_step_deg: float = 1.0,
+    tolerance_m: float = 1.5,
+    allow_surface: bool = True,
+    allow_bottom: bool = False,
+    step_m: float = 2.0,
+) -> Optional[RayPath]:
+    """Search launch angles for a ray connecting source and target.
+
+    Scans a fan of rays and refines around the best one by bisection on
+    the depth error at the target range.
+
+    Args:
+        ssp: the profile.
+        source_depth_m: source depth.
+        target_depth_m: receiver depth.
+        target_range_m: receiver range.
+        bottom_depth_m: reflecting bottom depth.
+        angle_span_deg: half-width of the launch fan.
+        angle_step_deg: fan resolution.
+        tolerance_m: accepted depth miss at the target.
+        allow_surface: accept rays with surface reflections (the surface
+            is a near-lossless mirror, so surface-duct propagation is a
+            legitimate connection).
+        allow_bottom: accept rays with bottom reflections (lossy mud/sand
+            contact; excluded by default so "reachable" means "without
+            paying bottom loss").
+        step_m: ray-integration step (coarser = faster searches).
+
+    Returns:
+        A connecting ray, or None (a *shadow zone*).
+    """
+    def miss(angle: float) -> Optional[float]:
+        ray = trace_ray(
+            ssp, source_depth_m, angle, target_range_m * 1.05, bottom_depth_m,
+            step_m=step_m,
+        )
+        if not allow_surface and ray.surface_hits:
+            return None
+        if not allow_bottom and ray.bottom_hits:
+            return None
+        depth = ray.depth_at(target_range_m)
+        if depth is None:
+            return None
+        return depth - target_depth_m
+
+    angles = np.arange(-angle_span_deg, angle_span_deg + 1e-9, angle_step_deg)
+    evaluated = [(a, miss(float(a))) for a in angles]
+    evaluated = [(a, m) for a, m in evaluated if m is not None]
+    if not evaluated:
+        return None
+
+    # Bisection between adjacent fan angles whose miss changes sign.
+    for (a0, m0), (a1, m1) in zip(evaluated, evaluated[1:]):
+        if m0 == 0.0:
+            return trace_ray(ssp, source_depth_m, a0, target_range_m * 1.05,
+                             bottom_depth_m, step_m=step_m)
+        if m0 * m1 > 0:
+            continue
+        lo, hi, mlo = a0, a1, m0
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            mm = miss(mid)
+            if mm is None:
+                break
+            if abs(mm) <= tolerance_m:
+                return trace_ray(ssp, source_depth_m, mid,
+                                 target_range_m * 1.05, bottom_depth_m,
+                                 step_m=step_m)
+            if mm * mlo <= 0:
+                hi = mid
+            else:
+                lo, mlo = mid, mm
+    # Fall back to the closest fan ray if it is within tolerance.
+    best_angle, best_miss = min(evaluated, key=lambda am: abs(am[1]))
+    if abs(best_miss) <= tolerance_m:
+        return trace_ray(ssp, source_depth_m, best_angle,
+                         target_range_m * 1.05, bottom_depth_m, step_m=step_m)
+    return None
+
+
+def in_shadow_zone(
+    ssp: SoundSpeedProfile,
+    source_depth_m: float,
+    target_depth_m: float,
+    target_range_m: float,
+    bottom_depth_m: Optional[float] = None,
+) -> bool:
+    """True when no refracted/surface-duct ray reaches the target.
+
+    Bottom-bounced connections are excluded: a node that can only be
+    reached by paying repeated bottom losses is operationally dark.
+    """
+    return (
+        find_eigenray(
+            ssp,
+            source_depth_m,
+            target_depth_m,
+            target_range_m,
+            bottom_depth_m,
+        )
+        is None
+    )

@@ -1,0 +1,122 @@
+"""Sound-speed profiles (SSP): how c varies with depth.
+
+The shallow presets treat the column as iso-speed, which is fine for a
+4 m river. Coastal deployments in summer are not so kind: a warm surface
+layer over a thermocline refracts rays *downward*, carving shadow zones
+where a moored node simply cannot hear a surface reader. This module
+provides the standard profile shapes; :mod:`repro.acoustics.raytrace`
+integrates rays through them.
+
+Profiles are piecewise-linear in depth: ``(depths, speeds)`` knots with
+linear interpolation between, clamped at the ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.constants import sound_speed_mackenzie
+
+
+@dataclass(frozen=True)
+class SoundSpeedProfile:
+    """A piecewise-linear c(z) profile.
+
+    Attributes:
+        depths_m: knot depths, strictly increasing, starting at 0.
+        speeds_mps: sound speed at each knot.
+    """
+
+    depths_m: np.ndarray
+    speeds_mps: np.ndarray
+
+    def __post_init__(self) -> None:
+        depths = np.asarray(self.depths_m, dtype=np.float64)
+        speeds = np.asarray(self.speeds_mps, dtype=np.float64)
+        if depths.ndim != 1 or depths.shape != speeds.shape or len(depths) < 1:
+            raise ValueError("depths and speeds must be matching 1-D arrays")
+        if len(depths) > 1 and not np.all(np.diff(depths) > 0):
+            raise ValueError("depths must be strictly increasing")
+        if depths[0] < 0:
+            raise ValueError("depths start at or below the surface (z >= 0)")
+        if np.any(speeds <= 0):
+            raise ValueError("speeds must be positive")
+        object.__setattr__(self, "depths_m", depths)
+        object.__setattr__(self, "speeds_mps", speeds)
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def isothermal(speed_mps: float = 1480.0, max_depth_m: float = 100.0
+                   ) -> "SoundSpeedProfile":
+        """Constant speed (well-mixed column)."""
+        return SoundSpeedProfile(
+            np.array([0.0, max_depth_m]), np.array([speed_mps, speed_mps])
+        )
+
+    @staticmethod
+    def linear(surface_speed_mps: float, gradient_per_m: float,
+               max_depth_m: float = 100.0) -> "SoundSpeedProfile":
+        """Constant gradient (e.g. the +0.017 /m pressure effect in deep
+        isothermal water)."""
+        return SoundSpeedProfile(
+            np.array([0.0, max_depth_m]),
+            np.array([
+                surface_speed_mps,
+                surface_speed_mps + gradient_per_m * max_depth_m,
+            ]),
+        )
+
+    @staticmethod
+    def summer_thermocline(
+        surface_temp_c: float = 20.0,
+        deep_temp_c: float = 8.0,
+        salinity_ppt: float = 33.0,
+        thermocline_top_m: float = 8.0,
+        thermocline_bottom_m: float = 20.0,
+        max_depth_m: float = 60.0,
+    ) -> "SoundSpeedProfile":
+        """Warm mixed layer over a sharp summer thermocline.
+
+        Speeds at the knots come from Mackenzie so the profile stays
+        physically consistent with the rest of the package.
+        """
+        if not 0 < thermocline_top_m < thermocline_bottom_m < max_depth_m:
+            raise ValueError("need 0 < top < bottom < max depth")
+        c_surf = sound_speed_mackenzie(surface_temp_c, salinity_ppt, 0.0)
+        c_top = sound_speed_mackenzie(surface_temp_c, salinity_ppt, thermocline_top_m)
+        c_bottom = sound_speed_mackenzie(deep_temp_c, salinity_ppt, thermocline_bottom_m)
+        c_deep = sound_speed_mackenzie(deep_temp_c, salinity_ppt, max_depth_m)
+        return SoundSpeedProfile(
+            np.array([0.0, thermocline_top_m, thermocline_bottom_m, max_depth_m]),
+            np.array([c_surf, c_top, c_bottom, c_deep]),
+        )
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def speed_at(self, depth_m: float) -> float:
+        """Sound speed at a depth (clamped to the profile ends)."""
+        return float(np.interp(depth_m, self.depths_m, self.speeds_mps))
+
+    def gradient_at(self, depth_m: float) -> float:
+        """dc/dz at a depth (0 beyond the profile ends)."""
+        d = self.depths_m
+        s = self.speeds_mps
+        if len(d) < 2 or depth_m <= d[0] or depth_m >= d[-1]:
+            return 0.0
+        i = int(np.searchsorted(d, depth_m, side="right") - 1)
+        i = min(max(i, 0), len(d) - 2)
+        return float((s[i + 1] - s[i]) / (d[i + 1] - d[i]))
+
+    @property
+    def max_depth_m(self) -> float:
+        """Deepest knot."""
+        return float(self.depths_m[-1])
+
+    def minimum_speed_depth(self) -> float:
+        """Depth of the sound channel axis (minimum c) on a fine grid."""
+        zs = np.linspace(self.depths_m[0], self.depths_m[-1], 512)
+        cs = np.interp(zs, self.depths_m, self.speeds_mps)
+        return float(zs[int(np.argmin(cs))])

@@ -1,0 +1,114 @@
+"""Sea-surface state: roughness loss and wave-induced Doppler.
+
+The water surface is a near-perfect pressure-release reflector: coefficient
+-1 for a mirror-flat surface. Two sea-state effects matter for backscatter:
+
+* **Coherent loss from roughness.** A rough surface scatters energy out of
+  the specular direction. The standard model attenuates the coherent
+  reflection by the Rayleigh roughness factor
+  ``exp(-2 (k * sigma * sin(grazing))^2)`` where ``sigma`` is the RMS wave
+  height.
+* **Doppler spread.** Surface-bounced paths reflect off a moving boundary;
+  the path delay is modulated at the dominant wave period. The ocean
+  experiments in the paper are harder than the river ones largely because
+  of this time variation, so the channel simulator animates it.
+
+Wave height and period are derived from wind speed with the fully-developed
+Pierson–Moskowitz relations, or can be set explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+GRAVITY = 9.81
+
+
+@dataclass(frozen=True)
+class SeaSurface:
+    """Statistical state of the water surface.
+
+    Attributes:
+        rms_height_m: RMS displacement of the surface, metres.
+        dominant_period_s: period of the dominant wave component, seconds.
+        amplitude_m: peak displacement used for the deterministic wave
+            animation (defaults to sqrt(2) * rms for a sinusoidal proxy).
+    """
+
+    rms_height_m: float = 0.0
+    dominant_period_s: float = 8.0
+
+    @property
+    def amplitude_m(self) -> float:
+        """Peak surface displacement of the sinusoidal animation proxy."""
+        return math.sqrt(2.0) * self.rms_height_m
+
+    @staticmethod
+    def calm() -> "SeaSurface":
+        """Mirror-flat surface (sheltered river on a still day)."""
+        return SeaSurface(rms_height_m=0.0, dominant_period_s=8.0)
+
+    @staticmethod
+    def from_wind(wind_speed_mps: float) -> "SeaSurface":
+        """Fully developed sea for a given wind speed (Pierson–Moskowitz).
+
+        Significant wave height Hs ~ 0.21 U^2 / g; RMS height is Hs / 4.
+        Peak period Tp ~ 7.2 U / g (empirical fit).
+        """
+        if wind_speed_mps < 0:
+            raise ValueError("wind speed must be non-negative")
+        hs = 0.21 * wind_speed_mps**2 / GRAVITY
+        tp = max(7.2 * wind_speed_mps / GRAVITY, 1.0)
+        return SeaSurface(rms_height_m=hs / 4.0, dominant_period_s=tp)
+
+    @staticmethod
+    def from_sea_state(sea_state: int) -> "SeaSurface":
+        """Surface for a WMO sea state code 0-6."""
+        if not 0 <= sea_state <= 6:
+            raise ValueError("sea state must be in 0..6")
+        rms_by_state = [0.0, 0.025, 0.12, 0.3, 0.6, 1.0, 1.5]
+        period_by_state = [4.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]
+        return SeaSurface(
+            rms_height_m=rms_by_state[sea_state],
+            dominant_period_s=period_by_state[sea_state],
+        )
+
+    def reflection_coefficient(
+        self, frequency_hz: float, grazing_angle_rad: float, sound_speed: float = 1500.0
+    ) -> complex:
+        """Coherent surface reflection coefficient at a grazing angle.
+
+        Pressure-release boundary (-1) attenuated by the Rayleigh
+        roughness factor.
+        """
+        k = 2.0 * math.pi * frequency_hz / sound_speed
+        rayleigh = 2.0 * (k * self.rms_height_m * math.sin(grazing_angle_rad)) ** 2
+        return complex(-math.exp(-min(rayleigh, 60.0)), 0.0)
+
+    def displacement(self, time_s: float, phase_rad: float = 0.0) -> float:
+        """Deterministic surface displacement proxy at a time, metres."""
+        if self.rms_height_m == 0.0:
+            return 0.0
+        omega = 2.0 * math.pi / self.dominant_period_s
+        return self.amplitude_m * math.sin(omega * time_s + phase_rad)
+
+    def vertical_velocity(self, time_s: float, phase_rad: float = 0.0) -> float:
+        """Surface vertical velocity proxy at a time, m/s."""
+        if self.rms_height_m == 0.0:
+            return 0.0
+        omega = 2.0 * math.pi / self.dominant_period_s
+        return self.amplitude_m * omega * math.cos(omega * time_s + phase_rad)
+
+    def max_doppler_shift_hz(
+        self, frequency_hz: float, grazing_angle_rad: float, sound_speed: float = 1500.0
+    ) -> float:
+        """Peak Doppler shift a surface-bounce path sees, Hz.
+
+        A bounce off a boundary moving at vertical velocity v changes the
+        path length at rate 2 v sin(grazing); the shift is f * rate / c.
+        """
+        omega = 2.0 * math.pi / self.dominant_period_s
+        v_peak = self.amplitude_m * omega
+        rate = 2.0 * v_peak * math.sin(grazing_angle_rad)
+        return frequency_hz * rate / sound_speed

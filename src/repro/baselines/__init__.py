@@ -1,0 +1,28 @@
+"""Comparison systems for the head-to-head and ablation experiments.
+
+* :mod:`repro.baselines.pab` — the prior state of the art: a
+  single-element piezo-acoustic backscatter node (SIGCOMM'19-style),
+  evaluated through the *same* channel and reader as VAB (E4).
+* :mod:`repro.baselines.conventional_array` — an equal-aperture array
+  *without* the Van Atta pairing: each element re-radiates its own signal,
+  so the reflection is only coherent at broadside (the E1 comparison).
+* :mod:`repro.baselines.mirror` — the ideal phase-conjugating reflector,
+  an upper bound no passive hardware can beat.
+"""
+
+from repro.baselines.pab import pab_link_budget, pab_node
+from repro.baselines.conventional_array import (
+    ConventionalNode,
+    conventional_monostatic_gain,
+    conventional_monostatic_gain_db,
+)
+from repro.baselines.mirror import ideal_monostatic_gain_db
+
+__all__ = [
+    "pab_node",
+    "pab_link_budget",
+    "ConventionalNode",
+    "conventional_monostatic_gain",
+    "conventional_monostatic_gain_db",
+    "ideal_monostatic_gain_db",
+]

@@ -1,0 +1,29 @@
+"""The ideal phase-conjugating mirror (upper bound).
+
+A hypothetical reflector that conjugates the incident field perfectly and
+re-radiates it losslessly: field gain exactly ``N`` at every angle, with
+no line loss, no element roll-off, no polarity error. Real Van Atta
+hardware approaches this bound at broadside and trails it off-axis by the
+element pattern — plotting both makes the implementation loss visible.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def ideal_monostatic_gain(num_elements: int) -> float:
+    """Field gain of the ideal conjugating mirror (angle-independent)."""
+    if num_elements < 1:
+        raise ValueError("need at least one element")
+    return float(num_elements)
+
+
+def ideal_monostatic_gain_db(num_elements: int) -> float:
+    """Ideal field gain in dB re one element."""
+    return 20.0 * math.log10(ideal_monostatic_gain(num_elements))
+
+
+def implementation_loss_db(measured_gain_db: float, num_elements: int) -> float:
+    """How far a measured array gain sits below the ideal bound, dB."""
+    return ideal_monostatic_gain_db(num_elements) - measured_gain_db

@@ -1,0 +1,208 @@
+"""Command-line interface: quick studies without writing a script.
+
+::
+
+    python -m repro budget --site river --range 150
+    python -m repro sweep --site ocean --sea-state 3 --start 50 --stop 300
+    python -m repro pattern --elements 4
+    python -m repro trial --site river --range 250
+    python -m repro inventory --nodes 8 --q 3
+
+Every subcommand prints a plain table to stdout and exits 0 on success;
+they are thin wrappers over the same public API the examples use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _site_scenario(args):
+    from repro.core import Scenario
+
+    if args.site == "river":
+        return Scenario.river(range_m=args.range)
+    return Scenario.ocean(range_m=args.range, sea_state=args.sea_state)
+
+
+def cmd_budget(args) -> int:
+    """Print the analytic link budget at one operating point."""
+    from repro.core import default_vab_budget
+
+    scenario = _site_scenario(args)
+    budget = default_vab_budget(scenario, num_elements=args.elements)
+    print(f"site              : {scenario.name}")
+    print(f"range             : {args.range:.0f} m")
+    print(f"array             : {args.elements} elements "
+          f"({budget.array_gain_db:.1f} dB)")
+    print(f"source level      : {scenario.source_level_db:.1f} dB re 1 uPa @ 1 m")
+    print(f"one-way loss      : {budget.one_way_loss_db(args.range):.1f} dB")
+    print(f"reflection gain   : {budget.reflection_gain_db():.1f} dB")
+    print(f"noise in band     : {budget.noise_level_in_band_db():.1f} dB")
+    print(f"SNR               : {budget.snr_db(args.range):.1f} dB")
+    print(f"predicted BER     : {budget.ber(args.range):.2e}")
+    print(f"max range @1e-3   : {budget.max_range_m(1e-3):.0f} m")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Monte-Carlo BER sweep across range."""
+    from repro.sim.sweep import log_ranges, sweep_range
+    from repro.sim.trials import TrialCampaign, run_campaign
+
+    scenario = _site_scenario(args)
+    ranges = log_ranges(args.start, args.stop, args.points)
+    campaign = TrialCampaign(trials_per_point=args.trials, seed=args.seed)
+    result = run_campaign(sweep_range(scenario, ranges), campaign, label=args.site)
+    print(f"{'range_m':>8} {'ber':>9} {'frames':>7} {'snr_db':>7}")
+    for p in result.points:
+        print(f"{p.range_m:>8.0f} {p.ber:>9.4f} "
+              f"{p.frame_success_rate:>7.2f} {p.mean_snr_db:>7.1f}")
+    print(f"max range at BER<=1e-3: {result.max_range_at_ber(1e-3):.0f} m")
+    return 0
+
+
+def cmd_pattern(args) -> int:
+    """Monostatic gain vs incidence angle (Van Atta vs baselines)."""
+    from repro.baselines.conventional_array import conventional_monostatic_gain_db
+    from repro.vanatta.array import VanAttaArray
+    from repro.vanatta.retrodirective import monostatic_gain_db
+
+    arr = VanAttaArray.uniform(args.elements)
+    print(f"{'angle':>6} {'van_atta_db':>12} {'conventional_db':>16}")
+    for theta in np.arange(-60.0, 61.0, args.step):
+        va = monostatic_gain_db(arr, 18_500.0, float(theta))
+        conv = conventional_monostatic_gain_db(arr.positions_m, 18_500.0, float(theta))
+        print(f"{theta:>+6.0f} {va:>12.1f} {conv:>16.1f}")
+    return 0
+
+
+def cmd_trial(args) -> int:
+    """One verbose waveform trial."""
+    from repro.sim.engine import simulate_trial
+
+    scenario = _site_scenario(args)
+    result = simulate_trial(scenario, rng=np.random.default_rng(args.seed))
+    print(f"site        : {scenario.name}")
+    print(f"range       : {result.range_m:.0f} m")
+    print(f"incidence   : {result.incidence_deg:.0f} deg")
+    print(f"detected    : {result.detected}")
+    print(f"frame ok    : {result.frame_ok}")
+    print(f"payload BER : {result.ber:.3f}")
+    print(f"eye SNR     : {result.snr_db:.1f} dB")
+    return 0 if result.detected else 1
+
+
+def cmd_adapt(args) -> int:
+    """Pick the best PHY mode for a node at a range."""
+    from repro.core import default_vab_budget
+    from repro.link.adaptive import (
+        DEFAULT_MODES,
+        frame_delivery_probability,
+        mode_goodput_bps,
+        select_mode,
+    )
+
+    scenario = _site_scenario(args)
+    budget = default_vab_budget(scenario)
+    print(f"{'mode':>14} {'rate_bps':>9} {'p(frame)':>9} {'goodput_bps':>12}")
+    for mode in DEFAULT_MODES:
+        p = frame_delivery_probability(budget, mode, args.range)
+        goodput = mode_goodput_bps(budget, mode, args.range) if p >= 0.5 else 0.0
+        print(f"{mode.name:>14} {mode.information_rate_bps():>9.0f} "
+              f"{p:>9.3f} {goodput:>12.1f}")
+    chosen = select_mode(budget, args.range)
+    if chosen is None:
+        print("no mode closes the link at this range")
+        return 1
+    print(f"selected: {chosen.name}")
+    return 0
+
+
+def cmd_inventory(args) -> int:
+    """Command-level inventory of a node population."""
+    from repro.link.node_fsm import NodeController
+    from repro.link.protocol import CommandLevelInventory
+
+    nodes = [NodeController(node_id=i, seed=args.seed) for i in range(1, args.nodes + 1)]
+    inventory = CommandLevelInventory(
+        q=args.q,
+        seed=args.seed,
+        downlink_loss=args.downlink_loss,
+        uplink_loss=args.uplink_loss,
+    )
+    trace = inventory.run(nodes)
+    print(f"inventoried : {len(trace.inventoried)}/{args.nodes} "
+          f"(order {trace.inventoried})")
+    print(f"commands    : {trace.commands_sent}")
+    print(f"slots       : {trace.slots_single} single, "
+          f"{trace.slots_collided} collided, {trace.slots_idle} idle")
+    return 0 if len(trace.inventoried) == args.nodes else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Assemble the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Van Atta acoustic backscatter (SIGCOMM'23) toolbox",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_site_args(p):
+        p.add_argument("--site", choices=("river", "ocean"), default="river")
+        p.add_argument("--range", type=float, default=100.0)
+        p.add_argument("--sea-state", type=int, default=3, dest="sea_state")
+        p.add_argument("--seed", type=int, default=1)
+
+    p_budget = sub.add_parser("budget", help="analytic link budget")
+    add_site_args(p_budget)
+    p_budget.add_argument("--elements", type=int, default=4)
+    p_budget.set_defaults(func=cmd_budget)
+
+    p_sweep = sub.add_parser("sweep", help="Monte-Carlo BER-vs-range sweep")
+    add_site_args(p_sweep)
+    p_sweep.add_argument("--start", type=float, default=50.0)
+    p_sweep.add_argument("--stop", type=float, default=500.0)
+    p_sweep.add_argument("--points", type=int, default=6)
+    p_sweep.add_argument("--trials", type=int, default=5)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_pattern = sub.add_parser("pattern", help="retrodirectivity pattern")
+    p_pattern.add_argument("--elements", type=int, default=4)
+    p_pattern.add_argument("--step", type=float, default=10.0)
+    p_pattern.set_defaults(func=cmd_pattern)
+
+    p_trial = sub.add_parser("trial", help="one verbose waveform trial")
+    add_site_args(p_trial)
+    p_trial.set_defaults(func=cmd_trial)
+
+    p_adapt = sub.add_parser("adapt", help="pick the best PHY mode at a range")
+    add_site_args(p_adapt)
+    p_adapt.set_defaults(func=cmd_adapt)
+
+    p_inv = sub.add_parser("inventory", help="command-level node inventory")
+    p_inv.add_argument("--nodes", type=int, default=8)
+    p_inv.add_argument("--q", type=int, default=3)
+    p_inv.add_argument("--downlink-loss", type=float, default=0.0,
+                       dest="downlink_loss")
+    p_inv.add_argument("--uplink-loss", type=float, default=0.0,
+                       dest="uplink_loss")
+    p_inv.add_argument("--seed", type=int, default=1)
+    p_inv.set_defaults(func=cmd_inventory)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

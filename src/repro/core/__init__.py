@@ -1,0 +1,30 @@
+"""High-level facade: the API most users need.
+
+::
+
+    from repro.core import Reader, VanAttaNode, Scenario, simulate_link
+
+    scenario = Scenario.river(range_m=100.0)
+    report = simulate_link(scenario, trials=20)
+    print(report.ber, report.frame_success_rate)
+"""
+
+from repro.core.api import (
+    LinkReport,
+    Reader,
+    default_vab_budget,
+    simulate_link,
+)
+from repro.sim.scenario import Scenario
+from repro.sim.linkbudget import LinkBudget
+from repro.vanatta.node import VanAttaNode
+
+__all__ = [
+    "Reader",
+    "LinkReport",
+    "simulate_link",
+    "default_vab_budget",
+    "Scenario",
+    "LinkBudget",
+    "VanAttaNode",
+]

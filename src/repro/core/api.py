@@ -1,0 +1,155 @@
+"""The public facade over the full stack.
+
+Most experiments need only three things: an environment
+(:class:`~repro.sim.scenario.Scenario`), a node
+(:class:`~repro.vanatta.node.VanAttaNode`), and either the analytic
+budget (:func:`default_vab_budget`) or a Monte-Carlo waveform run
+(:func:`simulate_link`). The :class:`Reader` bundles the transmit and
+receive chains for users driving the DSP directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.frame import FrameConfig
+from repro.phy.receiver import DemodResult, ReaderReceiver
+from repro.phy.transmitter import ReaderTransmitter
+from repro.sim.linkbudget import LinkBudget
+from repro.sim.results import BERPoint
+from repro.sim.scenario import Scenario
+from repro.sim.trials import TrialCampaign
+from repro.vanatta.array import VanAttaArray
+from repro.vanatta.node import VanAttaNode
+from repro.vanatta.retrodirective import monostatic_gain
+
+
+@dataclass
+class Reader:
+    """The interrogator: projector TX chain plus hydrophone RX chain.
+
+    Attributes:
+        scenario: environment defaults (carrier, rates, source level).
+        frame_config: uplink framing shared with nodes.
+    """
+
+    scenario: Scenario = field(default_factory=Scenario.river)
+    frame_config: FrameConfig = field(default_factory=FrameConfig)
+
+    def __post_init__(self) -> None:
+        self.tx = ReaderTransmitter(
+            carrier_hz=self.scenario.carrier_hz,
+            fs=self.scenario.fs,
+            source_level_db=self.scenario.source_level_db,
+        )
+        self.rx = ReaderReceiver(
+            fs=self.scenario.fs,
+            chip_rate=self.scenario.chip_rate,
+            frame_config=self.frame_config,
+        )
+
+    def carrier(self, duration_s: float) -> np.ndarray:
+        """Unit CW carrier at the reader's baseband rate."""
+        return self.tx.carrier(duration_s)
+
+    def demodulate(self, record: np.ndarray) -> DemodResult:
+        """Run the receive chain on a baseband record."""
+        return self.rx.demodulate(record)
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Summary of a simulated link at one operating point.
+
+    Attributes:
+        point: Monte-Carlo aggregate (None when trials == 0).
+        predicted_snr_db: analytic link-budget SNR.
+        predicted_ber: analytic link-budget BER.
+        range_m: reader-node range.
+        incidence_deg: node orientation offset.
+    """
+
+    point: Optional[BERPoint]
+    predicted_snr_db: float
+    predicted_ber: float
+    range_m: float
+    incidence_deg: float
+
+    @property
+    def ber(self) -> float:
+        """Measured BER when trials ran, else the prediction."""
+        return self.point.ber if self.point is not None else self.predicted_ber
+
+    @property
+    def frame_success_rate(self) -> float:
+        """Measured frame delivery rate (0 when no trials ran)."""
+        return self.point.frame_success_rate if self.point is not None else 0.0
+
+
+def default_vab_budget(
+    scenario: Scenario,
+    num_elements: int = 4,
+    theta_deg: Optional[float] = None,
+) -> LinkBudget:
+    """The standard VAB link budget for a scenario.
+
+    Evaluates the actual array model at the scenario's incidence angle, so
+    orientation sweeps change the budget the way they change the hardware.
+    """
+    array = VanAttaArray.uniform(
+        num_elements=num_elements,
+        frequency_hz=scenario.carrier_hz,
+        sound_speed=scenario.water.sound_speed,
+    )
+    angle = scenario.incidence_deg if theta_deg is None else theta_deg
+    gain = abs(
+        monostatic_gain(array, scenario.carrier_hz, angle, scenario.water.sound_speed)
+    )
+    return LinkBudget(
+        scenario=scenario,
+        array_gain_db=20.0 * math.log10(max(gain, 1e-12)),
+    )
+
+
+def simulate_link(
+    scenario: Scenario,
+    node: Optional[VanAttaNode] = None,
+    trials: int = 10,
+    seed: int = 2023,
+    payload_bytes: int = 8,
+) -> LinkReport:
+    """Simulate a link: analytic prediction plus optional waveform trials.
+
+    Args:
+        scenario: environment and geometry.
+        node: node model (default 4-element VAB node).
+        trials: Monte-Carlo waveform trials (0 = analytic only).
+        seed: campaign seed.
+        payload_bytes: frame payload size.
+
+    Returns:
+        A :class:`LinkReport` combining both fidelities.
+    """
+    if node is None:
+        node = VanAttaNode()
+    budget = default_vab_budget(scenario, node.array.num_elements)
+    point = None
+    if trials > 0:
+        campaign = TrialCampaign(
+            trials_per_point=trials,
+            seed=seed,
+            payload_bytes=payload_bytes,
+            node_factory=lambda: node,
+        )
+        point = campaign.run_point(scenario)
+    return LinkReport(
+        point=point,
+        predicted_snr_db=budget.snr_db(),
+        predicted_ber=budget.ber(),
+        range_m=scenario.range_m,
+        incidence_deg=scenario.incidence_deg,
+    )

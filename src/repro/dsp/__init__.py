@@ -1,0 +1,64 @@
+"""Signal-processing primitives shared by the PHY and the simulator.
+
+Everything operates on ``numpy`` arrays; signals are complex baseband
+unless a function says otherwise.
+"""
+
+from repro.dsp.filters import (
+    bandpass_fir,
+    dc_block,
+    fir_filter,
+    lowpass_fir,
+    moving_average,
+)
+from repro.dsp.correlate import (
+    correlate_full,
+    matched_filter,
+    normalized_correlation,
+    peak_to_sidelobe,
+)
+from repro.dsp.envelope import envelope_detect, rectify_smooth
+from repro.dsp.timing import (
+    early_late_offset,
+    resample_linear,
+    symbol_samples,
+    symbol_sum,
+)
+from repro.dsp.frontend import FrontEnd, clip_level_exceedance
+from repro.dsp.noisegen import colored_noise, white_noise
+from repro.dsp.metrics import (
+    db_to_linear,
+    linear_to_db,
+    measure_snr_db,
+    power,
+    rms,
+    scale_to_snr,
+)
+
+__all__ = [
+    "bandpass_fir",
+    "dc_block",
+    "fir_filter",
+    "lowpass_fir",
+    "moving_average",
+    "correlate_full",
+    "matched_filter",
+    "normalized_correlation",
+    "peak_to_sidelobe",
+    "envelope_detect",
+    "rectify_smooth",
+    "early_late_offset",
+    "resample_linear",
+    "symbol_samples",
+    "symbol_sum",
+    "FrontEnd",
+    "clip_level_exceedance",
+    "colored_noise",
+    "white_noise",
+    "db_to_linear",
+    "linear_to_db",
+    "measure_snr_db",
+    "power",
+    "rms",
+    "scale_to_snr",
+]

@@ -1,0 +1,33 @@
+"""Envelope detection for non-coherent OOK demodulation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.filters import lowpass_fir, fir_filter
+
+
+def envelope_detect(signal: np.ndarray) -> np.ndarray:
+    """Magnitude envelope of a complex baseband signal."""
+    return np.abs(np.asarray(signal, dtype=np.complex128))
+
+
+def rectify_smooth(
+    signal: np.ndarray, fs: float, cutoff_hz: float
+) -> np.ndarray:
+    """Classic envelope detector: rectify then low-pass.
+
+    Args:
+        signal: complex (or real) baseband samples.
+        fs: sample rate, Hz.
+        cutoff_hz: smoothing bandwidth; set to ~2x the symbol rate.
+
+    Returns:
+        Real, non-negative smoothed envelope, same length as the input.
+    """
+    if cutoff_hz <= 0 or cutoff_hz >= fs / 2:
+        raise ValueError("cutoff must be in (0, fs/2)")
+    env = np.abs(np.asarray(signal))
+    taps = lowpass_fir(cutoff_hz, fs, num_taps=65)
+    smoothed = fir_filter(env, taps)
+    return np.maximum(smoothed.real, 0.0)

@@ -1,0 +1,87 @@
+"""Receiver analog front end: AGC, clipping, and ADC quantisation.
+
+Backscatter is brutal on front ends: the self-interference carrier sits
+40-60 dB above the data, so the ADC must digitise a huge carrier without
+clipping while keeping enough resolution for the microscopic sidebands.
+The model here lets experiments ask "how many bits does the reader need?"
+— a question the DSP-only chain can't answer.
+
+The chain is ``AGC -> saturation -> uniform quantiser`` applied to both
+I and Q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrontEnd:
+    """Front-end conversion parameters.
+
+    Attributes:
+        adc_bits: quantiser resolution per I/Q rail.
+        full_scale: saturation level after AGC (the quantiser spans
+            [-full_scale, +full_scale] on each rail).
+        agc_target: AGC drives the record's RMS to this fraction of full
+            scale (headroom for the carrier crest factor).
+        agc_enabled: disable to model a fixed-gain front end.
+    """
+
+    adc_bits: int = 12
+    full_scale: float = 1.0
+    agc_target: float = 0.25
+    agc_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.adc_bits <= 32:
+            raise ValueError("adc_bits must be in 1..32")
+        if self.full_scale <= 0:
+            raise ValueError("full_scale must be positive")
+        if not 0.0 < self.agc_target <= 1.0:
+            raise ValueError("agc_target must be in (0, 1]")
+
+    def agc_gain(self, record: np.ndarray) -> float:
+        """Gain that puts the record RMS at the AGC target level."""
+        record = np.asarray(record)
+        rms = float(np.sqrt(np.mean(np.abs(record) ** 2))) if len(record) else 0.0
+        if rms <= 0:
+            return 1.0
+        return self.agc_target * self.full_scale / rms
+
+    def digitize(self, record: np.ndarray) -> np.ndarray:
+        """Run the full front end on a complex baseband record.
+
+        Returns:
+            The quantised complex record (same scale as the AGC output,
+            so downstream DSP is unchanged).
+        """
+        record = np.asarray(record, dtype=np.complex128)
+        if len(record) == 0:
+            return record.copy()
+        gain = self.agc_gain(record) if self.agc_enabled else 1.0
+        scaled = record * gain
+
+        levels = 2 ** (self.adc_bits - 1)
+        step = self.full_scale / levels
+
+        def quantise(rail: np.ndarray) -> np.ndarray:
+            clipped = np.clip(rail, -self.full_scale, self.full_scale - step)
+            return np.round(clipped / step) * step
+
+        return quantise(scaled.real) + 1j * quantise(scaled.imag)
+
+    def dynamic_range_db(self) -> float:
+        """Quantiser dynamic range, ~6.02 dB per bit."""
+        return 6.02 * self.adc_bits
+
+
+def clip_level_exceedance(record: np.ndarray, full_scale: float) -> float:
+    """Fraction of samples whose I or Q rail would clip at a full scale."""
+    record = np.asarray(record, dtype=np.complex128)
+    if len(record) == 0:
+        return 0.0
+    over = (np.abs(record.real) >= full_scale) | (np.abs(record.imag) >= full_scale)
+    return float(np.count_nonzero(over)) / len(record)

@@ -1,0 +1,69 @@
+"""Power/SNR measurement helpers used across the PHY and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+def power(signal: np.ndarray) -> float:
+    """Mean square value E[|x|^2]."""
+    signal = np.asarray(signal)
+    if len(signal) == 0:
+        return 0.0
+    return float(np.mean(np.abs(signal) ** 2))
+
+
+def rms(signal: np.ndarray) -> float:
+    """Root mean square value."""
+    return math.sqrt(power(signal))
+
+
+def linear_to_db(x: float) -> float:
+    """Power ratio to dB (floors at -300 dB instead of -inf)."""
+    return 10.0 * math.log10(max(x, 1e-30))
+
+
+def db_to_linear(db: float) -> float:
+    """dB to linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def measure_snr_db(received: np.ndarray, noise_only: np.ndarray) -> float:
+    """SNR estimate from a received record and a noise-only record.
+
+    Subtracts the measured noise power from the received power to estimate
+    signal power (clamped at a small positive floor).
+    """
+    p_rx = power(received)
+    p_n = power(noise_only)
+    p_sig = max(p_rx - p_n, 1e-30)
+    return linear_to_db(p_sig / max(p_n, 1e-30))
+
+
+def scale_to_snr(
+    signal: np.ndarray,
+    target_snr_db: float,
+    noise_power: float,
+    reference: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Scale ``signal`` so its power is ``target_snr_db`` above a noise power.
+
+    Args:
+        signal: samples to scale.
+        target_snr_db: desired SNR, dB.
+        noise_power: noise mean-square value.
+        reference: if given, the power of this array (e.g. the data-bearing
+            portion of the waveform) is used to compute the scale instead
+            of ``signal`` itself.
+
+    Returns:
+        Scaled copy of ``signal``.
+    """
+    base = power(reference if reference is not None else signal)
+    if base <= 0:
+        raise ValueError("cannot scale a zero-power signal")
+    target_power = noise_power * db_to_linear(target_snr_db)
+    return np.asarray(signal) * math.sqrt(target_power / base)

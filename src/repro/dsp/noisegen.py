@@ -1,0 +1,76 @@
+"""Noise synthesis with prescribed spectra.
+
+The waveform simulator needs ambient noise whose in-band power matches the
+Wenz level computed by :mod:`repro.acoustics.noise`, with approximately the
+right spectral tilt across the receiver band. Noise is generated in the
+frequency domain: complex white Gaussian bins shaped by the target PSD.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+
+def white_noise(
+    n: int, power: float, rng: Optional[np.random.Generator] = None, complex_: bool = True
+) -> np.ndarray:
+    """Complex (or real) white Gaussian noise with a given average power.
+
+    Args:
+        n: number of samples.
+        power: target mean square value E[|x|^2].
+        rng: random generator (a fresh default one if omitted).
+        complex_: circular complex noise if True, real if False.
+    """
+    if power < 0:
+        raise ValueError("power must be non-negative")
+    if rng is None:
+        rng = np.random.default_rng()
+    if complex_:
+        scale = np.sqrt(power / 2.0)
+        return scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    return np.sqrt(power) * rng.standard_normal(n)
+
+
+def colored_noise(
+    n: int,
+    fs: float,
+    psd_db_fn: Callable[[float], float],
+    carrier_hz: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Complex baseband noise matching an absolute passband PSD.
+
+    The returned samples represent passband noise around ``carrier_hz``
+    translated to baseband: bin ``f`` of the output spectrum is shaped by
+    ``psd_db_fn(carrier_hz + f)``. Mean-square value equals the PSD
+    integrated across the simulated bandwidth ``fs``.
+
+    Args:
+        n: number of samples.
+        fs: sample rate (simulated bandwidth), Hz.
+        psd_db_fn: function mapping absolute frequency (Hz) to PSD in
+            dB re 1 uPa^2/Hz (or any consistent unit).
+        carrier_hz: centre frequency the baseband is referenced to.
+        rng: random generator.
+
+    Returns:
+        Complex baseband noise samples of length ``n``.
+    """
+    if n <= 0:
+        return np.zeros(0, dtype=np.complex128)
+    if rng is None:
+        rng = np.random.default_rng()
+    freqs = np.fft.fftfreq(n, d=1.0 / fs)
+    abs_freqs = carrier_hz + freqs
+    psd_linear = np.array(
+        [10.0 ** (psd_db_fn(float(max(f, 1.0))) / 10.0) for f in abs_freqs]
+    )
+    # Bin amplitude: each FFT bin spans fs/n Hz of PSD; synthesise unit
+    # white bins then scale so E[|x[t]|^2] = integral of PSD.
+    bins = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    bins *= np.sqrt(psd_linear * fs / 2.0)
+    noise = np.fft.ifft(bins) * np.sqrt(n)
+    return noise.astype(np.complex128)

@@ -1,0 +1,34 @@
+"""Geometric primitives for placing readers, nodes, and array elements.
+
+The simulator works in a right-handed Cartesian frame:
+
+* ``x`` — horizontal range axis (reader usually looks along +x),
+* ``y`` — horizontal cross-range axis,
+* ``z`` — depth, **positive downward** (``z = 0`` is the water surface).
+
+Angles follow the acoustics convention used in the paper's plots:
+*incidence angle* (or *bearing*) is measured from an array's broadside
+direction, so 0 degrees means the wave arrives head-on.
+"""
+
+from repro.geometry.vec3 import Vec3, cross, dot, norm, unit
+from repro.geometry.placement import (
+    Pose,
+    bearing_deg,
+    elevation_deg,
+    incidence_angle_deg,
+    slant_range,
+)
+
+__all__ = [
+    "Vec3",
+    "cross",
+    "dot",
+    "norm",
+    "unit",
+    "Pose",
+    "bearing_deg",
+    "elevation_deg",
+    "incidence_angle_deg",
+    "slant_range",
+]

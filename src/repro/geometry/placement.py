@@ -1,0 +1,88 @@
+"""Poses and angle bookkeeping for deployed devices.
+
+A :class:`Pose` couples a position with a heading (the direction the
+device's broadside/acoustic axis points). The headline plots in the paper
+sweep the *node orientation* relative to the reader — these helpers compute
+the incidence angle that sweep controls.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.vec3 import Vec3, dot
+
+
+@dataclass(frozen=True)
+class Pose:
+    """Position plus heading of a deployed device.
+
+    Attributes:
+        position: device location in the global frame (z positive down).
+        heading_deg: azimuth of the device broadside, degrees from +x,
+            measured counter-clockwise when viewed from above.
+        tilt_deg: elevation tilt of the broadside out of the horizontal
+            plane; positive tilts the axis toward the surface.
+    """
+
+    position: Vec3
+    heading_deg: float = 0.0
+    tilt_deg: float = 0.0
+
+    @property
+    def broadside(self) -> Vec3:
+        """Unit vector along the device's acoustic axis."""
+        az = math.radians(self.heading_deg)
+        el = math.radians(self.tilt_deg)
+        return Vec3.from_spherical(1.0, az, el)
+
+    def facing(self, target: Vec3) -> "Pose":
+        """A copy of this pose rotated (in azimuth and tilt) to face ``target``."""
+        d = target - self.position
+        az = math.degrees(math.atan2(d.y, d.x))
+        horiz = math.hypot(d.x, d.y)
+        # Elevation from the horizontal plane: positive = toward surface.
+        el = math.degrees(math.atan2(-d.z, horiz)) if horiz > 0 else 0.0
+        return Pose(self.position, heading_deg=az, tilt_deg=el)
+
+    def rotated(self, delta_heading_deg: float) -> "Pose":
+        """A copy rotated in azimuth by ``delta_heading_deg``."""
+        return Pose(self.position, self.heading_deg + delta_heading_deg, self.tilt_deg)
+
+    def translated(self, offset: Vec3) -> "Pose":
+        """A copy translated by ``offset``."""
+        return Pose(self.position + offset, self.heading_deg, self.tilt_deg)
+
+
+def slant_range(a: Vec3, b: Vec3) -> float:
+    """Straight-line distance between two points, metres."""
+    return a.distance_to(b)
+
+
+def bearing_deg(source: Vec3, target: Vec3) -> float:
+    """Azimuth of ``target`` as seen from ``source``, degrees from +x."""
+    d = target - source
+    return math.degrees(math.atan2(d.y, d.x))
+
+
+def elevation_deg(source: Vec3, target: Vec3) -> float:
+    """Elevation of ``target`` from ``source``, degrees above horizontal."""
+    d = target - source
+    horiz = math.hypot(d.x, d.y)
+    return math.degrees(math.atan2(-d.z, horiz))
+
+
+def incidence_angle_deg(device: Pose, source: Vec3) -> float:
+    """Angle between a device's broadside and the direction to ``source``.
+
+    This is the abscissa of the paper's orientation-robustness plots:
+    0 degrees means the incoming wave hits the array head-on; 90 degrees
+    means it arrives along the array face.
+
+    Returns:
+        The unsigned angle in degrees, in [0, 180].
+    """
+    direction = (source - device.position).unit()
+    cosang = max(-1.0, min(1.0, dot(device.broadside, direction)))
+    return math.degrees(math.acos(cosang))

@@ -1,0 +1,149 @@
+"""A small immutable 3-vector.
+
+``numpy`` arrays are used for bulk math inside the DSP and channel code; at
+the API surface a tiny typed vector makes scenarios self-describing::
+
+    reader = Vec3(0.0, 0.0, 5.0)        # 5 m deep at the origin
+    node = Vec3(100.0, 0.0, 5.0)        # 100 m down-range
+
+The class supports the handful of operations scenario code needs
+(arithmetic, norms, rotation about z) and converts to/from ``numpy``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable Cartesian 3-vector (units: metres unless noted)."""
+
+    x: float
+    y: float
+    z: float
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Vec3":
+        """The origin."""
+        return Vec3(0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_array(a) -> "Vec3":
+        """Build from any length-3 sequence or ``numpy`` array."""
+        ax, ay, az = (float(v) for v in a)
+        return Vec3(ax, ay, az)
+
+    @staticmethod
+    def from_spherical(r: float, azimuth_rad: float, elevation_rad: float) -> "Vec3":
+        """Build from range, azimuth (about z, from +x), and elevation.
+
+        Elevation is measured from the horizontal plane; positive elevation
+        points *up* (toward the surface, i.e. decreasing z).
+        """
+        horiz = r * math.cos(elevation_rad)
+        return Vec3(
+            horiz * math.cos(azimuth_rad),
+            horiz * math.sin(azimuth_rad),
+            -r * math.sin(elevation_rad),
+        )
+
+    # -- conversions -------------------------------------------------------
+
+    def as_array(self) -> np.ndarray:
+        """Return a ``numpy`` array ``[x, y, z]`` of dtype float64."""
+        return np.array([self.x, self.y, self.z], dtype=np.float64)
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        """Return a plain tuple ``(x, y, z)``."""
+        return (self.x, self.y, self.z)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, s: float) -> "Vec3":
+        return Vec3(self.x * s, self.y * s, self.z * s)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, s: float) -> "Vec3":
+        return Vec3(self.x / s, self.y / s, self.z / s)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    # -- metrics -------------------------------------------------------------
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.x * self.x + self.y * self.y + self.z * self.z)
+
+    def distance_to(self, other: "Vec3") -> float:
+        """Euclidean distance to ``other``."""
+        return (self - other).norm()
+
+    def unit(self) -> "Vec3":
+        """Unit vector in this direction.
+
+        Raises:
+            ValueError: if the vector is (numerically) zero.
+        """
+        n = self.norm()
+        if n < 1e-30:
+            raise ValueError("cannot normalise a zero vector")
+        return self / n
+
+    # -- transforms -----------------------------------------------------------
+
+    def rotated_z(self, angle_rad: float) -> "Vec3":
+        """Rotate about the +z (depth) axis by ``angle_rad`` (right-handed)."""
+        c, s = math.cos(angle_rad), math.sin(angle_rad)
+        return Vec3(c * self.x - s * self.y, s * self.x + c * self.y, self.z)
+
+    def mirrored_surface(self) -> "Vec3":
+        """Image of this point in the water surface (z = 0 plane)."""
+        return Vec3(self.x, self.y, -self.z)
+
+    def mirrored_bottom(self, bottom_depth: float) -> "Vec3":
+        """Image of this point in a flat bottom at depth ``bottom_depth``."""
+        return Vec3(self.x, self.y, 2.0 * bottom_depth - self.z)
+
+
+def dot(a: Vec3, b: Vec3) -> float:
+    """Dot product of two vectors."""
+    return a.x * b.x + a.y * b.y + a.z * b.z
+
+
+def cross(a: Vec3, b: Vec3) -> Vec3:
+    """Cross product ``a × b``."""
+    return Vec3(
+        a.y * b.z - a.z * b.y,
+        a.z * b.x - a.x * b.z,
+        a.x * b.y - a.y * b.x,
+    )
+
+
+def norm(a: Vec3) -> float:
+    """Euclidean length of ``a`` (function form of :meth:`Vec3.norm`)."""
+    return a.norm()
+
+
+def unit(a: Vec3) -> Vec3:
+    """Unit vector of ``a`` (function form of :meth:`Vec3.unit`)."""
+    return a.unit()

@@ -1,0 +1,62 @@
+"""Link layer: interrogation sessions and multi-node inventory.
+
+Backscatter networks are reader-coordinated: nodes cannot hear each other
+(they have no receiver beyond an envelope detector), so all medium access
+is scheduled by the reader. The layer provides:
+
+* :mod:`repro.link.session` — timing of one query/response exchange and
+  the goodput arithmetic for a single node;
+* :mod:`repro.link.mac` — slotted-ALOHA inventory of multiple nodes with
+  per-node delivery probabilities;
+* :mod:`repro.link.stats` — throughput/latency accounting shared by both.
+"""
+
+from repro.link.session import FrameTiming, QuerySession
+from repro.link.mac import InventoryResult, SlottedAlohaInventory
+from repro.link.stats import LinkStats
+from repro.link.commands import Command, Opcode, decode_command, encode_command
+from repro.link.node_fsm import NodeController, NodeState
+from repro.link.protocol import (
+    CommandLevelInventory,
+    ProtocolTrace,
+    read_selected,
+)
+from repro.link.energy import (
+    DutyCycledNode,
+    StorageState,
+    endurance_interrogations,
+)
+from repro.link.adaptive import (
+    DEFAULT_MODES,
+    PhyMode,
+    adaptive_goodput_bps,
+    frame_delivery_probability,
+    mode_goodput_bps,
+    select_mode,
+)
+
+__all__ = [
+    "FrameTiming",
+    "QuerySession",
+    "SlottedAlohaInventory",
+    "InventoryResult",
+    "LinkStats",
+    "Command",
+    "Opcode",
+    "encode_command",
+    "decode_command",
+    "NodeController",
+    "NodeState",
+    "CommandLevelInventory",
+    "ProtocolTrace",
+    "read_selected",
+    "DutyCycledNode",
+    "StorageState",
+    "endurance_interrogations",
+    "PhyMode",
+    "DEFAULT_MODES",
+    "select_mode",
+    "mode_goodput_bps",
+    "adaptive_goodput_bps",
+    "frame_delivery_probability",
+]

@@ -1,0 +1,178 @@
+"""Link adaptation: pick the PHY mode the channel can carry.
+
+A fixed chip rate wastes the channel twice: near the reader it leaves
+throughput on the table, at the cliff it delivers nothing. The reader
+knows its SNR (from the preamble eye of probe frames, or the budget), so
+it can select per-node modes — chip rate plus FEC — like every modern
+radio does. The node side costs nothing: the mode is announced in the
+QUERY command and the node's FSM just clocks its switch differently.
+
+The analytic mode model chains: chip-rate noise bandwidth -> chip BER ->
+per-block FEC survival -> frame delivery -> session goodput. The E19
+benchmark checks the adaptive envelope against every fixed mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.link.session import FrameTiming, QuerySession
+from repro.phy.ber import ber_ook_coherent
+from repro.phy.coding import chips_per_bit
+from repro.phy.fec import FECScheme
+from repro.phy.frame import FrameConfig
+from repro.sim.linkbudget import LinkBudget
+
+
+@dataclass(frozen=True)
+class PhyMode:
+    """One selectable PHY operating mode.
+
+    Attributes:
+        name: display label.
+        chip_rate: uplink chip rate, chips/s.
+        fec: body FEC scheme.
+        interleave_depth: interleaver rows when FEC is on.
+    """
+
+    name: str
+    chip_rate: float
+    fec: FECScheme = FECScheme.NONE
+    interleave_depth: int = 1
+
+    def frame_config(self) -> FrameConfig:
+        """The framing this mode uses."""
+        return FrameConfig(fec=self.fec, interleave_depth=self.interleave_depth)
+
+    def information_rate_bps(self) -> float:
+        """Peak payload bitrate during a response."""
+        from repro.phy.fec import code_rate
+
+        return (
+            self.chip_rate
+            / chips_per_bit(FrameConfig().line_code)
+            * code_rate(self.fec)
+        )
+
+
+DEFAULT_MODES = (
+    PhyMode("fast", 4_000.0),
+    PhyMode("nominal", 2_000.0),
+    PhyMode("nominal+fec", 2_000.0, FECScheme.HAMMING74, 8),
+    PhyMode("slow", 500.0),
+    PhyMode("slow+fec", 500.0, FECScheme.HAMMING74, 8),
+)
+
+
+def chip_error_probability(budget: LinkBudget, mode: PhyMode, range_m: float) -> float:
+    """Chip-level error probability of a mode at a range.
+
+    The budget's SNR scales with the noise bandwidth (the chip rate), so
+    the mode's rate enters through the scenario's in-band noise.
+    """
+    import dataclasses
+
+    scenario = dataclasses.replace(budget.scenario, chip_rate=mode.chip_rate)
+    scaled = budget.with_(scenario=scenario)
+    # Chip decisions integrate one chip: use the per-chip SNR (no FM0
+    # bit-level processing gain at this stage).
+    snr_chip_db = scaled.snr_db(range_m) - scaled.processing_gain_db()
+    return ber_ook_coherent(snr_chip_db)
+
+
+def frame_delivery_probability(
+    budget: LinkBudget, mode: PhyMode, range_m: float, payload_bytes: int = 8
+) -> float:
+    """Probability one frame of a mode survives at a range.
+
+    Chains chip errors through the line code and FEC. FM0 maps one chip
+    error to one bit error (pair mismatch), so bit error ~ 2p(1-p) for
+    chip error p; FEC then repairs per block.
+    """
+    p_chip = chip_error_probability(budget, mode, range_m)
+    p_bit = 2.0 * p_chip * (1.0 - p_chip)
+    cfg = mode.frame_config()
+
+    header_ok = (1.0 - p_bit) ** cfg.header_bits()
+    info_bits = cfg.body_bits(payload_bytes)
+    if mode.fec is FECScheme.HAMMING74:
+        blocks = -(-info_bits // 4)
+        q = 1.0 - p_bit
+        block_ok = q**7 + 7.0 * p_bit * q**6
+        body_ok = block_ok**blocks
+    elif mode.fec is FECScheme.REPETITION3:
+        q = 1.0 - p_bit
+        bit_ok = q**3 + 3.0 * p_bit * q**2
+        body_ok = bit_ok**info_bits
+    else:
+        body_ok = (1.0 - p_bit) ** info_bits
+    return header_ok * body_ok
+
+
+def mode_goodput_bps(
+    budget: LinkBudget,
+    mode: PhyMode,
+    range_m: float,
+    payload_bytes: int = 8,
+    sound_speed: float = 1500.0,
+) -> float:
+    """Session goodput of a mode at a range (retries included)."""
+    p_frame = frame_delivery_probability(budget, mode, range_m, payload_bytes)
+    timing = FrameTiming(chip_rate=mode.chip_rate, frame_config=mode.frame_config())
+    session = QuerySession(
+        timing=timing,
+        payload_bytes=payload_bytes,
+        frame_success_probability=p_frame,
+    )
+    return session.goodput_bps(range_m, sound_speed)
+
+
+def select_mode(
+    budget: LinkBudget,
+    range_m: float,
+    modes: Sequence[PhyMode] = DEFAULT_MODES,
+    payload_bytes: int = 8,
+    min_delivery: float = 0.5,
+) -> Optional[PhyMode]:
+    """Pick the goodput-maximising mode with acceptable delivery.
+
+    Args:
+        budget: the link budget (array, environment, reader).
+        range_m: node range.
+        modes: candidate modes.
+        payload_bytes: frame payload.
+        min_delivery: modes below this per-attempt delivery probability
+            are excluded (retry storms are worse than slow modes).
+
+    Returns:
+        The best mode, or None when no mode clears ``min_delivery``
+        (the node is out of range for every configuration).
+    """
+    if not modes:
+        raise ValueError("need at least one candidate mode")
+    best: Optional[PhyMode] = None
+    best_goodput = -math.inf
+    for mode in modes:
+        delivery = frame_delivery_probability(budget, mode, range_m, payload_bytes)
+        if delivery < min_delivery:
+            continue
+        goodput = mode_goodput_bps(budget, mode, range_m, payload_bytes)
+        if goodput > best_goodput:
+            best = mode
+            best_goodput = goodput
+    return best
+
+
+def adaptive_goodput_bps(
+    budget: LinkBudget,
+    range_m: float,
+    modes: Sequence[PhyMode] = DEFAULT_MODES,
+    payload_bytes: int = 8,
+) -> float:
+    """Goodput of the adaptive policy (0 when out of range entirely)."""
+    mode = select_mode(budget, range_m, modes, payload_bytes)
+    if mode is None:
+        return 0.0
+    return mode_goodput_bps(budget, mode, range_m, payload_bytes)

@@ -1,0 +1,142 @@
+"""Node-side protocol state machine.
+
+The node's sequencer is a handful of states driven entirely by decoded
+downlink commands and slot boundaries — exactly what an FSM in a
+microwatt MCU can run:
+
+::
+
+            SLEEP(c)             QUERY(q): draw slot
+    ASLEEP <-------- READY ----------------------------+
+       |  wake after   ^  ^                            v
+       +---------------+  |        slot==0?        ARBITRATE
+                          |  ACK(my id)               |
+                          +--------- REPLIED <--------+ (respond, wait)
+                          inventoried      QUERY_REP: slot -= 1
+
+``SELECT`` short-circuits arbitration: a selected node answers every
+query in slot 0 and the others stay silent.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.link.commands import Command, Opcode
+
+
+class NodeState(enum.Enum):
+    """FSM states of the node sequencer."""
+
+    READY = "ready"
+    ARBITRATE = "arbitrate"
+    REPLIED = "replied"
+    INVENTORIED = "inventoried"
+    ASLEEP = "asleep"
+
+
+@dataclass
+class NodeController:
+    """The protocol controller of one backscatter node.
+
+    Attributes:
+        node_id: this node's 8-bit address.
+        seed: seeds the slot-draw RNG (hardware would use a ring
+            oscillator; a seed keeps simulations reproducible).
+    """
+
+    node_id: int
+    seed: int = 0
+    state: NodeState = NodeState.READY
+    slot_counter: int = 0
+    sleep_remaining: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.node_id <= 255:
+            raise ValueError("node_id must be in 1..255")
+        self._rng = np.random.default_rng((self.seed << 8) | self.node_id)
+        self.selected = False
+
+    # -- inputs ----------------------------------------------------------------
+
+    def on_command(self, command: Optional[Command]) -> bool:
+        """Process a decoded command; True when the node should respond now.
+
+        A ``None`` command (CRC failure at the node) is ignored — the
+        reader will retry.
+        """
+        if command is None:
+            return False
+        handler = {
+            Opcode.QUERY: self._on_query,
+            Opcode.QUERY_REP: self._on_query_rep,
+            Opcode.ACK: self._on_ack,
+            Opcode.SELECT: self._on_select,
+            Opcode.SLEEP: self._on_sleep,
+        }[command.opcode]
+        return handler(command)
+
+    def on_superframe(self) -> None:
+        """Clock the sleep counter at each superframe boundary."""
+        if self.state is NodeState.ASLEEP:
+            self.sleep_remaining -= 1
+            if self.sleep_remaining <= 0:
+                self.state = NodeState.READY
+
+    # -- per-opcode behaviour ------------------------------------------------------
+
+    def _on_query(self, command: Command) -> bool:
+        if self.state in (NodeState.ASLEEP, NodeState.INVENTORIED):
+            return False
+        if self.selected:
+            self.state = NodeState.REPLIED
+            return True
+        window = 1 << command.arg
+        self.slot_counter = int(self._rng.integers(0, window))
+        if self.slot_counter == 0:
+            self.state = NodeState.REPLIED
+            return True
+        self.state = NodeState.ARBITRATE
+        return False
+
+    def _on_query_rep(self, command: Command) -> bool:
+        __ = command
+        if self.state is not NodeState.ARBITRATE:
+            return False
+        self.slot_counter -= 1
+        if self.slot_counter == 0:
+            self.state = NodeState.REPLIED
+            return True
+        return False
+
+    def _on_ack(self, command: Command) -> bool:
+        if command.arg == self.node_id and self.state is NodeState.REPLIED:
+            self.state = NodeState.INVENTORIED
+        return False
+
+    def _on_select(self, command: Command) -> bool:
+        if self.state is NodeState.ASLEEP:
+            return False
+        self.selected = command.arg == self.node_id
+        if command.arg == 0:
+            self.selected = False
+        return False
+
+    def _on_sleep(self, command: Command) -> bool:
+        if self.state is NodeState.INVENTORIED:
+            return False
+        self.state = NodeState.ASLEEP
+        self.sleep_remaining = 1 << command.arg
+        return False
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def reset_inventory(self) -> None:
+        """New inventory epoch: inventoried nodes participate again."""
+        if self.state is not NodeState.ASLEEP:
+            self.state = NodeState.READY

@@ -1,0 +1,117 @@
+"""Timing and goodput of one reader/node exchange.
+
+One round is::
+
+    | PIE query | turnaround | node frame (preamble + coded bits) | guard |
+
+The turnaround covers the acoustic round trip — at 300 m that is 0.4 s,
+which *dominates* the round at long range: underwater backscatter is
+latency-limited by physics, not by the PHY. The goodput model keeps every
+term explicit so the E7 throughput-vs-range curve has the right shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.phy.downlink import PIEConfig
+from repro.phy.frame import FrameConfig
+
+
+@dataclass(frozen=True)
+class FrameTiming:
+    """Durations of the pieces of one exchange.
+
+    Attributes:
+        chip_rate: uplink chip rate, chips/s.
+        pie: downlink timing.
+        frame_config: uplink framing.
+        query_bits: length of the reader's query command.
+        guard_s: settling guard after each response.
+    """
+
+    chip_rate: float = 2_000.0
+    pie: PIEConfig = field(default_factory=PIEConfig)
+    frame_config: FrameConfig = field(default_factory=FrameConfig)
+    query_bits: int = 16
+    guard_s: float = 10e-3
+
+    def query_duration_s(self) -> float:
+        """Worst-case PIE query duration (all ones), seconds."""
+        return self.query_bits * self.pie.bit_duration_s(1)
+
+    def response_duration_s(self, payload_bytes: int) -> float:
+        """Node frame duration on the uplink, seconds."""
+        chips = self.frame_config.frame_chips(payload_bytes)
+        return chips / self.chip_rate
+
+    def turnaround_s(self, range_m: float, sound_speed: float = 1500.0) -> float:
+        """Acoustic round-trip time, seconds."""
+        if range_m < 0:
+            raise ValueError("range must be non-negative")
+        return 2.0 * range_m / sound_speed
+
+    def round_duration_s(self, payload_bytes: int, range_m: float,
+                         sound_speed: float = 1500.0) -> float:
+        """Total duration of one exchange, seconds."""
+        return (
+            self.query_duration_s()
+            + self.turnaround_s(range_m, sound_speed)
+            + self.response_duration_s(payload_bytes)
+            + self.guard_s
+        )
+
+
+@dataclass(frozen=True)
+class QuerySession:
+    """Steady-state goodput of repeated exchanges with one node.
+
+    Attributes:
+        timing: exchange timing.
+        payload_bytes: payload per frame.
+        frame_success_probability: delivery probability per attempt
+            (from a link budget or a measured campaign).
+        max_retries: retransmissions before a frame is abandoned.
+    """
+
+    timing: FrameTiming = field(default_factory=FrameTiming)
+    payload_bytes: int = 8
+    frame_success_probability: float = 1.0
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.frame_success_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def expected_attempts(self) -> float:
+        """Mean attempts per frame (truncated geometric)."""
+        p = self.frame_success_probability
+        if p <= 0.0:
+            return float(self.max_retries + 1)
+        n = self.max_retries + 1
+        q = 1.0 - p
+        # E[attempts] for a geometric capped at n tries.
+        return (1.0 - q**n) / p
+
+    def delivery_probability(self) -> float:
+        """Probability a frame is delivered within the retry budget."""
+        return 1.0 - (1.0 - self.frame_success_probability) ** (self.max_retries + 1)
+
+    def goodput_bps(self, range_m: float, sound_speed: float = 1500.0) -> float:
+        """Delivered payload bits per second of wall-clock time."""
+        round_s = self.timing.round_duration_s(
+            self.payload_bytes, range_m, sound_speed
+        )
+        attempts = self.expected_attempts()
+        delivered_bits = self.payload_bytes * 8 * self.delivery_probability()
+        return delivered_bits / (round_s * attempts)
+
+    def uplink_bitrate_bps(self) -> float:
+        """Raw uplink bitrate during a response (chip rate / chips-per-bit)."""
+        from repro.phy.coding import chips_per_bit
+
+        return self.timing.chip_rate / chips_per_bit(
+            self.timing.frame_config.line_code
+        )

@@ -1,0 +1,57 @@
+"""Throughput/latency accounting for link-layer simulations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class LinkStats:
+    """Mutable counters accumulated during a link-layer simulation."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    collisions: int = 0
+    idle_slots: int = 0
+    busy_time_s: float = 0.0
+    payload_bits_delivered: int = 0
+    per_node_attempts: Dict[int, int] = field(default_factory=dict)
+
+    def record_attempt(self, node_id: int) -> None:
+        """Count a transmission attempt by a node."""
+        self.frames_sent += 1
+        self.per_node_attempts[node_id] = self.per_node_attempts.get(node_id, 0) + 1
+
+    def record_delivery(self, node_id: int, payload_bits: int) -> None:
+        """Count a successful delivery."""
+        self.frames_delivered += 1
+        self.payload_bits_delivered += payload_bits
+        # node_id kept for symmetry with record_attempt; per-node delivery
+        # is implied by inventory completion.
+        __ = node_id
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered / sent (0 when nothing was sent)."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.frames_delivered / self.frames_sent
+
+    def goodput_bps(self) -> float:
+        """Delivered payload bits per busy second."""
+        if self.busy_time_s <= 0:
+            return 0.0
+        return self.payload_bits_delivered / self.busy_time_s
+
+    def summary(self) -> Dict[str, float]:
+        """Plain-dict summary for benchmark tables."""
+        return {
+            "frames_sent": float(self.frames_sent),
+            "frames_delivered": float(self.frames_delivered),
+            "collisions": float(self.collisions),
+            "idle_slots": float(self.idle_slots),
+            "delivery_ratio": self.delivery_ratio,
+            "busy_time_s": self.busy_time_s,
+            "goodput_bps": self.goodput_bps(),
+        }

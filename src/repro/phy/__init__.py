@@ -1,0 +1,102 @@
+"""Physical layer: framing, line coding, modulation, and the reader DSP.
+
+The uplink is switched-reflection OOK: the node keys its Van Atta
+connection per *chip*, chips carry FM0-coded bits (DC-free, so the data
+survives the reader's carrier-leakage suppression), and bits are packed
+into CRC-protected frames behind a Barker-sequence preamble.
+
+The downlink (reader to node) uses pulse-interval encoding (PIE) on the
+carrier so the node can decode commands with a passive envelope detector.
+"""
+
+from repro.phy.bits import (
+    bits_from_bytes,
+    bits_to_bytes,
+    pn_sequence,
+    random_bits,
+)
+from repro.phy.crc import crc16_ccitt, crc16_check
+from repro.phy.coding import (
+    LineCode,
+    fm0_decode,
+    fm0_encode,
+    manchester_decode,
+    manchester_encode,
+    miller_decode,
+    miller_encode,
+    nrz_decode,
+    nrz_encode,
+)
+from repro.phy.preamble import BARKER13, preamble_chips, detect_preamble
+from repro.phy.fec import (
+    FECScheme,
+    code_rate,
+    deinterleave,
+    fec_decode,
+    fec_encode,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+)
+from repro.phy.frame import FrameConfig, ParsedFrame, build_frame, parse_frame
+from repro.phy.downlink import (
+    PIEConfig,
+    pie_decode,
+    pie_encode,
+)
+from repro.phy.transmitter import ReaderTransmitter
+from repro.phy.receiver import DemodResult, ReaderReceiver
+from repro.phy.rake import ChannelEstimate, estimate_channel, rake_combine
+from repro.phy.scrambler import descramble, scramble
+from repro.phy.ber import (
+    ber_ook_noncoherent,
+    count_bit_errors,
+    required_snr_db,
+)
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_to_bytes",
+    "pn_sequence",
+    "random_bits",
+    "crc16_ccitt",
+    "crc16_check",
+    "LineCode",
+    "fm0_encode",
+    "fm0_decode",
+    "manchester_encode",
+    "manchester_decode",
+    "miller_encode",
+    "miller_decode",
+    "nrz_encode",
+    "nrz_decode",
+    "BARKER13",
+    "preamble_chips",
+    "detect_preamble",
+    "FECScheme",
+    "code_rate",
+    "fec_encode",
+    "fec_decode",
+    "hamming74_encode",
+    "hamming74_decode",
+    "interleave",
+    "deinterleave",
+    "ParsedFrame",
+    "FrameConfig",
+    "build_frame",
+    "parse_frame",
+    "PIEConfig",
+    "pie_encode",
+    "pie_decode",
+    "ReaderTransmitter",
+    "ReaderReceiver",
+    "DemodResult",
+    "ChannelEstimate",
+    "estimate_channel",
+    "rake_combine",
+    "scramble",
+    "descramble",
+    "ber_ook_noncoherent",
+    "count_bit_errors",
+    "required_snr_db",
+]

@@ -1,0 +1,83 @@
+"""Bit-array utilities.
+
+Bits are ``numpy`` int64 arrays of 0/1, most significant bit first within
+each byte (network order).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def bits_from_bytes(data: bytes) -> np.ndarray:
+    """Unpack bytes into an MSB-first bit array."""
+    if len(data) == 0:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr).astype(np.int64)
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack an MSB-first bit array into bytes.
+
+    Raises:
+        ValueError: if the bit count is not a multiple of 8 or any value
+            is not 0/1.
+    """
+    bits = np.asarray(list(bits), dtype=np.int64)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a multiple of 8")
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("bits must be 0/1")
+    if bits.size == 0:
+        return b""
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def random_bits(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform random bits (deterministic when given a seeded generator)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if rng is None:
+        rng = np.random.default_rng()
+    return rng.integers(0, 2, size=n).astype(np.int64)
+
+
+def pn_sequence(length: int, taps: Sequence[int] = (7, 6), seed: int = 0b1001011) -> np.ndarray:
+    """Maximal-length LFSR (PN) sequence of 0/1 bits.
+
+    Default taps [7, 6] give the m-sequence of period 127; longer requests
+    repeat the sequence. Used for scrambling and test payloads with known
+    spectral properties.
+
+    Args:
+        length: number of bits to emit.
+        taps: LFSR feedback tap positions (1-indexed, descending).
+        seed: non-zero initial register state.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if seed == 0:
+        raise ValueError("LFSR seed must be non-zero")
+    degree = max(taps)
+    # Fibonacci LFSR: stages 1..degree, output taken from stage `degree`,
+    # feedback = XOR of the tapped stages, inserted at stage 1.
+    register = [(seed >> i) & 1 for i in range(degree)]
+    if not any(register):
+        register[0] = 1
+    out = np.empty(length, dtype=np.int64)
+    for i in range(length):
+        out[i] = register[-1]
+        feedback = 0
+        for t in taps:
+            feedback ^= register[t - 1]
+        register = [feedback] + register[:-1]
+    return out
+
+
+def bits_to_levels(bits: Sequence[int]) -> np.ndarray:
+    """Map 0/1 bits to -1/+1 levels (for correlation templates)."""
+    bits = np.asarray(list(bits), dtype=np.int64)
+    return 2.0 * bits - 1.0

@@ -1,0 +1,39 @@
+"""CRC-16/CCITT-FALSE frame check sequence.
+
+Polynomial 0x1021, initial value 0xFFFF, no reflection, no final XOR —
+the variant used by most low-power telemetry framings. Implemented over
+bit arrays because the PHY works in bits end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def crc16_ccitt(bits: Sequence[int]) -> np.ndarray:
+    """CRC-16/CCITT-FALSE of a bit sequence, returned as 16 bits (MSB first)."""
+    bits = np.asarray(list(bits), dtype=np.int64)
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("bits must be 0/1")
+    crc = _INIT
+    for b in bits:
+        crc ^= int(b) << 15
+        if crc & 0x8000:
+            crc = ((crc << 1) ^ _POLY) & 0xFFFF
+        else:
+            crc = (crc << 1) & 0xFFFF
+    return np.array([(crc >> (15 - i)) & 1 for i in range(16)], dtype=np.int64)
+
+
+def crc16_check(bits_with_fcs: Sequence[int]) -> bool:
+    """Verify a bit sequence whose last 16 bits are its CRC."""
+    bits = np.asarray(list(bits_with_fcs), dtype=np.int64)
+    if bits.size < 16:
+        return False
+    payload, fcs = bits[:-16], bits[-16:]
+    return bool(np.array_equal(crc16_ccitt(payload), fcs))

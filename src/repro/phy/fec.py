@@ -1,0 +1,210 @@
+"""Forward error correction for the backscatter uplink.
+
+Long-range backscatter lives at single-digit SNR where a few corrected
+bits decide whether a frame survives; the encoder must also cost the node
+essentially nothing. Two codes that an FSM/MCU node can afford:
+
+* **Hamming(7,4)** — corrects one error per 7-chip block; the classic
+  low-power choice. ~1.8 dB of coding gain at BER 1e-3 for a rate-4/7
+  cost.
+* **Repetition-3** — majority vote; simplest possible decoder, rate 1/3.
+
+Plus a **block interleaver**: underwater errors burst (surface-motion
+fades span many chips), and an interleaver converts bursts into the
+scattered single errors Hamming can fix.
+
+All functions operate on 0/1 bit arrays and compose with the line codes
+in :mod:`repro.phy.coding` (FEC first, then FM0).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Tuple
+
+import numpy as np
+
+# Generator matrix for systematic Hamming(7,4): codeword = [d1..d4 p1..p3].
+_G = np.array(
+    [
+        [1, 0, 0, 0, 1, 1, 0],
+        [0, 1, 0, 0, 1, 0, 1],
+        [0, 0, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=np.int64,
+)
+
+# Parity-check matrix consistent with _G.
+_H = np.array(
+    [
+        [1, 1, 0, 1, 1, 0, 0],
+        [1, 0, 1, 1, 0, 1, 0],
+        [0, 1, 1, 1, 0, 0, 1],
+    ],
+    dtype=np.int64,
+)
+
+# Syndrome (as integer) -> error position in the 7-bit codeword.
+_SYNDROME_TO_POSITION = {}
+for _pos in range(7):
+    _e = np.zeros(7, dtype=np.int64)
+    _e[_pos] = 1
+    _s = (_H @ _e) % 2
+    _SYNDROME_TO_POSITION[int("".join(map(str, _s)), 2)] = _pos
+
+
+class FECScheme(enum.Enum):
+    """Available FEC schemes."""
+
+    NONE = "none"
+    HAMMING74 = "hamming74"
+    REPETITION3 = "repetition3"
+
+
+def _as_bits(bits: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(list(bits), dtype=np.int64)
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise ValueError("bits must be 0/1")
+    return arr
+
+
+# --------------------------------------------------------------------------
+# Hamming(7,4)
+# --------------------------------------------------------------------------
+
+
+def hamming74_encode(bits: Sequence[int]) -> np.ndarray:
+    """Encode bits with Hamming(7,4); pads to a multiple of 4 with zeros.
+
+    The pad is removed on decode only if the caller tracks the original
+    length — framing already carries a length field, so the PHY simply
+    rounds payloads up.
+    """
+    bits = _as_bits(bits)
+    if bits.size % 4:
+        bits = np.concatenate([bits, np.zeros(4 - bits.size % 4, dtype=np.int64)])
+    blocks = bits.reshape(-1, 4)
+    coded = (blocks @ _G) % 2
+    return coded.reshape(-1)
+
+
+def hamming74_decode(coded: Sequence[int]) -> Tuple[np.ndarray, int]:
+    """Decode Hamming(7,4), correcting one error per block.
+
+    Returns:
+        ``(bits, corrections)`` — decoded data bits and how many blocks
+        had an error corrected (an SNR telemetry signal for the reader).
+    """
+    coded = _as_bits(coded)
+    if coded.size % 7:
+        raise ValueError("Hamming(7,4) stream length must be a multiple of 7")
+    blocks = coded.reshape(-1, 7).copy()
+    corrections = 0
+    syndromes = (blocks @ _H.T) % 2
+    for i, s in enumerate(syndromes):
+        key = int("".join(map(str, s)), 2)
+        if key:
+            pos = _SYNDROME_TO_POSITION.get(key)
+            if pos is not None:
+                blocks[i, pos] ^= 1
+                corrections += 1
+    return blocks[:, :4].reshape(-1), corrections
+
+
+# --------------------------------------------------------------------------
+# Repetition-3
+# --------------------------------------------------------------------------
+
+
+def repetition3_encode(bits: Sequence[int]) -> np.ndarray:
+    """Repeat each bit three times."""
+    return np.repeat(_as_bits(bits), 3)
+
+
+def repetition3_decode(coded: Sequence[int]) -> Tuple[np.ndarray, int]:
+    """Majority-vote decode; returns (bits, corrected_votes)."""
+    coded = _as_bits(coded)
+    if coded.size % 3:
+        raise ValueError("repetition-3 stream length must be a multiple of 3")
+    triples = coded.reshape(-1, 3)
+    sums = triples.sum(axis=1)
+    bits = (sums >= 2).astype(np.int64)
+    # A "correction" is any non-unanimous triple.
+    corrections = int(np.count_nonzero((sums != 0) & (sums != 3)))
+    return bits, corrections
+
+
+# --------------------------------------------------------------------------
+# Interleaving
+# --------------------------------------------------------------------------
+
+
+def interleave(bits: Sequence[int], depth: int) -> np.ndarray:
+    """Block interleaver: write row-wise into ``depth`` rows, read column-wise.
+
+    Pads with zeros to fill the block; the deinterleaver needs the
+    original length to strip the pad.
+    """
+    bits = _as_bits(bits)
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if depth == 1 or bits.size == 0:
+        return bits.copy()
+    cols = -(-bits.size // depth)
+    padded = np.concatenate(
+        [bits, np.zeros(depth * cols - bits.size, dtype=np.int64)]
+    )
+    return padded.reshape(depth, cols).T.reshape(-1)
+
+
+def deinterleave(bits: Sequence[int], depth: int, original_length: int) -> np.ndarray:
+    """Invert :func:`interleave`, trimming back to ``original_length``."""
+    bits = _as_bits(bits)
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if depth == 1 or bits.size == 0:
+        return bits[:original_length].copy()
+    cols = bits.size // depth
+    if cols * depth != bits.size:
+        raise ValueError("interleaved length must be a multiple of depth")
+    out = bits.reshape(cols, depth).T.reshape(-1)
+    return out[:original_length]
+
+
+# --------------------------------------------------------------------------
+# Scheme dispatch
+# --------------------------------------------------------------------------
+
+
+def fec_encode(bits: Sequence[int], scheme: FECScheme) -> np.ndarray:
+    """Encode with a named scheme (identity for NONE)."""
+    if scheme is FECScheme.NONE:
+        return _as_bits(bits).copy()
+    if scheme is FECScheme.HAMMING74:
+        return hamming74_encode(bits)
+    if scheme is FECScheme.REPETITION3:
+        return repetition3_encode(bits)
+    raise ValueError(f"unknown FEC scheme: {scheme}")
+
+
+def fec_decode(coded: Sequence[int], scheme: FECScheme) -> Tuple[np.ndarray, int]:
+    """Decode with a named scheme; returns (bits, corrections)."""
+    if scheme is FECScheme.NONE:
+        return _as_bits(coded).copy(), 0
+    if scheme is FECScheme.HAMMING74:
+        return hamming74_decode(coded)
+    if scheme is FECScheme.REPETITION3:
+        return repetition3_decode(coded)
+    raise ValueError(f"unknown FEC scheme: {scheme}")
+
+
+def code_rate(scheme: FECScheme) -> float:
+    """Information bits per coded bit."""
+    if scheme is FECScheme.NONE:
+        return 1.0
+    if scheme is FECScheme.HAMMING74:
+        return 4.0 / 7.0
+    if scheme is FECScheme.REPETITION3:
+        return 1.0 / 3.0
+    raise ValueError(f"unknown FEC scheme: {scheme}")

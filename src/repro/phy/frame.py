@@ -1,0 +1,245 @@
+"""Uplink frame format.
+
+::
+
+    +-----------+-----------------+-------------------------------+
+    | preamble  | header (FM0)    | body (FEC + interleave + FM0) |
+    | (chips)   | id:8, length:8  | payload + CRC-16              |
+    +-----------+-----------------+-------------------------------+
+
+The header stays uncoded so the parser can learn the body length before
+committing to a (possibly interleaved) FEC decode; the CRC covers header
+*and* payload, so header corruption is still caught. The body is
+optionally FEC-encoded (Hamming(7,4) / repetition-3) and block-interleaved
+— underwater errors burst with surface-motion fades, and the interleaver
+turns bursts into the isolated errors the FEC can fix.
+
+Everything is line-coded (FM0 by default) after FEC. The length field
+counts payload *bytes*, capping payloads at 255 bytes — generous for
+sensor readings, and short frames are how backscatter survives
+time-varying channels anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy import coding
+from repro.phy.bits import bits_from_bytes, bits_to_bytes
+from repro.phy.coding import LineCode
+from repro.phy.crc import crc16_ccitt
+from repro.phy.fec import (
+    FECScheme,
+    code_rate,
+    deinterleave,
+    fec_decode,
+    fec_encode,
+    interleave,
+)
+from repro.phy.preamble import preamble_chips
+
+MAX_PAYLOAD_BYTES = 255
+
+
+@dataclass(frozen=True)
+class FrameConfig:
+    """Static PHY framing parameters shared by node and reader.
+
+    Attributes:
+        line_code: uplink line code.
+        preamble_repeats: Barker-13 repeats in the preamble.
+        fec: FEC scheme applied to the body (payload + CRC).
+        interleave_depth: block-interleaver rows over the coded body
+            (1 disables interleaving).
+        scramble: XOR-whiten the payload bits with the frame-aligned PN
+            sequence before the CRC/FEC (see :mod:`repro.phy.scrambler`).
+    """
+
+    line_code: LineCode = LineCode.FM0
+    preamble_repeats: int = 2
+    fec: FECScheme = FECScheme.NONE
+    interleave_depth: int = 1
+    scramble: bool = False
+
+    def __post_init__(self) -> None:
+        if self.interleave_depth < 1:
+            raise ValueError("interleave depth must be >= 1")
+
+    @property
+    def preamble(self) -> np.ndarray:
+        """Preamble chip pattern."""
+        return preamble_chips(self.preamble_repeats)
+
+    def header_bits(self) -> int:
+        """Bits of uncoded header (node id + length)."""
+        return 16
+
+    def body_bits(self, payload_bytes: int) -> int:
+        """Information bits in the body (payload + CRC-16)."""
+        return payload_bytes * 8 + 16
+
+    def coded_body_bits(self, payload_bytes: int) -> int:
+        """Body bits after FEC expansion and interleaver padding."""
+        info = self.body_bits(payload_bytes)
+        if self.fec is FECScheme.HAMMING74:
+            coded = -(-info // 4) * 7
+        elif self.fec is FECScheme.REPETITION3:
+            coded = info * 3
+        else:
+            coded = info
+        if self.interleave_depth > 1:
+            cols = -(-coded // self.interleave_depth)
+            coded = self.interleave_depth * cols
+        return coded
+
+    def frame_bits(self, payload_bytes: int) -> int:
+        """Line-coded bit count: header plus (coded) body."""
+        return self.header_bits() + self.coded_body_bits(payload_bytes)
+
+    def frame_chips(self, payload_bytes: int) -> int:
+        """Total chips in a frame including the preamble."""
+        return len(self.preamble) + self.frame_bits(payload_bytes) * coding.chips_per_bit(
+            self.line_code
+        )
+
+    def effective_code_rate(self) -> float:
+        """Information rate of the body coding (1.0 when FEC is off)."""
+        return code_rate(self.fec)
+
+
+@dataclass(frozen=True)
+class ParsedFrame:
+    """A successfully parsed frame.
+
+    Attributes:
+        node_id: 8-bit source identifier.
+        payload: payload bytes.
+        crc_ok: whether the CRC checked out.
+        fm0_violations: FM0 boundary violations seen while decoding
+            (0 for other line codes).
+        fec_corrections: FEC blocks corrected while decoding the body.
+    """
+
+    node_id: int
+    payload: bytes
+    crc_ok: bool
+    fm0_violations: int = 0
+    fec_corrections: int = 0
+
+
+def build_frame(
+    node_id: int, payload: bytes, config: Optional[FrameConfig] = None
+) -> np.ndarray:
+    """Build the full chip sequence for a frame (preamble + coded bits).
+
+    Args:
+        node_id: 8-bit source identifier.
+        payload: payload bytes (<= 255).
+        config: framing parameters.
+
+    Returns:
+        Chip array ready for :func:`repro.vanatta.switching.chips_to_waveform`.
+    """
+    if config is None:
+        config = FrameConfig()
+    if not 0 <= node_id <= 255:
+        raise ValueError("node_id must fit in 8 bits")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ValueError(f"payload exceeds {MAX_PAYLOAD_BYTES} bytes")
+
+    header_bytes = bytes([node_id, len(payload)])
+    header_bits = bits_from_bytes(header_bytes)
+    payload_bits = bits_from_bytes(bytes(payload))
+    if config.scramble:
+        from repro.phy.scrambler import scramble
+
+        payload_bits = scramble(payload_bits)
+    fcs = crc16_ccitt(np.concatenate([header_bits, payload_bits]))
+
+    body = np.concatenate([payload_bits, fcs])
+    body = fec_encode(body, config.fec)
+    if config.interleave_depth > 1:
+        body = interleave(body, config.interleave_depth)
+
+    coded = coding.encode(np.concatenate([header_bits, body]), config.line_code)
+    return np.concatenate([config.preamble, coded])
+
+
+def parse_frame(
+    chips: np.ndarray, config: Optional[FrameConfig] = None
+) -> Optional[ParsedFrame]:
+    """Parse the coded region of a frame (chips *after* the preamble).
+
+    The chip stream may be longer than one frame (the receiver slices on
+    detection and hands over everything it has); the header's length
+    field decides how much is consumed.
+
+    Returns:
+        The parsed frame, or None when the stream is too short. CRC
+        failures still return a frame (with ``crc_ok=False``) so callers
+        can count them.
+    """
+    if config is None:
+        config = FrameConfig()
+    cpb = coding.chips_per_bit(config.line_code)
+    header_chips = config.header_bits() * cpb
+    if len(chips) < header_chips:
+        return None
+
+    violations = 0
+    if config.line_code is LineCode.FM0:
+        header_bits, violations = coding.fm0_decode(chips[:header_chips])
+    else:
+        header_bits = coding.decode(chips[:header_chips], config.line_code)
+    header = bits_to_bytes(header_bits)
+    node_id, length = header[0], header[1]
+
+    total_chips = config.frame_bits(length) * cpb
+    if len(chips) < total_chips:
+        return None
+    body_chips = chips[header_chips:total_chips]
+    if config.line_code is LineCode.FM0:
+        # Decode the full coded region once so boundary accounting spans
+        # the header/body seam correctly.
+        all_bits, violations = coding.fm0_decode(chips[:total_chips])
+        body_coded = all_bits[config.header_bits():]
+    else:
+        body_coded = coding.decode(body_chips, config.line_code)
+
+    info_bits = config.body_bits(length)
+    if config.interleave_depth > 1:
+        pre_pad = config.coded_body_bits(length)
+        # Length before interleaver padding (= after FEC expansion).
+        if config.fec is FECScheme.HAMMING74:
+            fec_len = -(-info_bits // 4) * 7
+        elif config.fec is FECScheme.REPETITION3:
+            fec_len = info_bits * 3
+        else:
+            fec_len = info_bits
+        body_coded = deinterleave(body_coded[:pre_pad], config.interleave_depth, fec_len)
+    body_bits, corrections = fec_decode(body_coded, config.fec)
+    body_bits = body_bits[:info_bits]
+
+    payload_bits = body_bits[: length * 8]
+    fcs = body_bits[length * 8 : length * 8 + 16]
+    # The CRC covers the scrambled (on-air) payload bits.
+    ok = bool(
+        np.array_equal(
+            crc16_ccitt(np.concatenate([header_bits, payload_bits])), fcs
+        )
+    )
+    if config.scramble:
+        from repro.phy.scrambler import descramble
+
+        payload_bits = descramble(payload_bits)
+    payload = bits_to_bytes(payload_bits)
+    return ParsedFrame(
+        node_id=node_id,
+        payload=payload,
+        crc_ok=ok,
+        fm0_violations=violations,
+        fec_corrections=corrections,
+    )

@@ -1,0 +1,123 @@
+"""Preamble generation and detection.
+
+The uplink frame leads with a fixed chip pattern built from the Barker-13
+sequence: Barker codes have the lowest possible correlation sidelobes, so
+a normalised correlator can pick the frame start out of noise at the low
+SNRs the 300 m experiments operate at. The pattern is transmitted at the
+chip rate like the data, so a detection also pins chip timing and gives a
+phase reference for coherent slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.correlate import normalized_correlation, peak_to_sidelobe
+
+BARKER13 = np.array([1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1], dtype=np.int64)
+"""The length-13 Barker code (as 0/1 chips)."""
+
+
+def preamble_chips(repeats: int = 2) -> np.ndarray:
+    """The frame preamble: ``repeats`` Barker-13 codes back to back.
+
+    Two repeats (26 chips) is the default: long enough for a -3 dB-SNR
+    detection, short enough to cost only ~26 ms at 1 kchip/s.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return np.tile(BARKER13, repeats)
+
+
+def preamble_template(
+    samples_per_chip: int, repeats: int = 2, depth: float = 1.0
+) -> np.ndarray:
+    """Sample-rate correlation template (zero-mean, +-depth/2 levels).
+
+    Zero-mean because the receiver strips DC before correlating; the
+    template must live in the same subspace or the correlation peak
+    shifts.
+    """
+    chips = preamble_chips(repeats)
+    # Barker-13 is unbalanced (9 ones / 4 zeros): subtract the true mean,
+    # not 0.5, or the template leaks into the suppressed-DC subspace.
+    levels = (chips.astype(np.float64) - chips.mean()) * depth
+    return np.repeat(levels, samples_per_chip)
+
+
+@dataclass(frozen=True)
+class PreambleDetection:
+    """Result of a preamble search.
+
+    Attributes:
+        start_index: sample index where the preamble starts.
+        score: normalised correlation in [0, 1] at the peak.
+        psl: peak-to-sidelobe ratio of the correlation.
+        phase: complex rotation of the received preamble relative to the
+            template (use ``conj(phase)/|phase|`` to derotate the frame).
+    """
+
+    start_index: int
+    score: float
+    psl: float
+    phase: complex
+
+
+def detect_preamble(
+    signal: np.ndarray,
+    samples_per_chip: int,
+    repeats: int = 2,
+    threshold: float = 0.5,
+) -> Optional[PreambleDetection]:
+    """Search a baseband record for the frame preamble.
+
+    Correlation is done per Barker repeat and combined *non-coherently*
+    (sum of magnitudes): a carrier offset that rotates the signal across
+    the full preamble barely rotates it within one 13-chip segment, so
+    detection stays solid through the Doppler range the CFO estimator
+    can fix (~+-50 Hz at the default rates).
+
+    Args:
+        signal: complex baseband record (DC already suppressed).
+        samples_per_chip: receiver oversampling per chip.
+        repeats: Barker repeats the transmitter used.
+        threshold: minimum normalised correlation to accept.
+
+    Returns:
+        The detection, or None when nothing clears the threshold.
+    """
+    segment = preamble_template(samples_per_chip, repeats=1)
+    period = len(segment)
+    total_len = period * repeats
+    if len(signal) < total_len:
+        return None
+    seg_corr = normalized_correlation(signal, segment.astype(np.complex128))
+    if len(seg_corr) == 0:
+        return None
+
+    # Combined score at start k: mean of per-segment scores.
+    n_starts = len(signal) - total_len + 1
+    if n_starts <= 0:
+        return None
+    combined = np.zeros(n_starts)
+    for r in range(repeats):
+        combined += seg_corr[r * period : r * period + n_starts]
+    combined /= repeats
+
+    peak = int(np.argmax(combined))
+    score = float(combined[peak])
+    if score < threshold:
+        return None
+    raw = np.vdot(
+        segment.astype(np.complex128),
+        np.asarray(signal[peak : peak + period], dtype=np.complex128),
+    )
+    return PreambleDetection(
+        start_index=peak,
+        score=score,
+        psl=peak_to_sidelobe(combined, guard=samples_per_chip),
+        phase=complex(raw),
+    )

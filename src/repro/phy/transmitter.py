@@ -1,0 +1,68 @@
+"""The reader's transmit side: carrier and downlink commands.
+
+The reader is a projector driven by an SDR: for the uplink it transmits a
+plain continuous wave (the node does all the modulation), and for the
+downlink it gates that carrier with a PIE envelope. In the complex
+baseband representation used throughout the simulator, a CW carrier is
+simply a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.phy.downlink import PIEConfig, pie_encode
+
+
+@dataclass(frozen=True)
+class ReaderTransmitter:
+    """Reader transmit chain.
+
+    Attributes:
+        carrier_hz: carrier frequency, Hz.
+        fs: baseband sample rate, Hz.
+        source_level_db: projector source level, dB re 1 uPa @ 1 m. The
+            waveform amplitude is normalised to 1; the simulator applies
+            the absolute level via the channel/link budget, keeping
+            waveform dynamic range healthy.
+    """
+
+    carrier_hz: float = 18_500.0
+    fs: float = 16_000.0
+    source_level_db: float = 185.0
+
+    def __post_init__(self) -> None:
+        if self.carrier_hz <= 0 or self.fs <= 0:
+            raise ValueError("carrier and sample rate must be positive")
+
+    def carrier(self, duration_s: float) -> np.ndarray:
+        """Unit-amplitude CW carrier (a constant in complex baseband)."""
+        n = int(round(duration_s * self.fs))
+        if n < 0:
+            raise ValueError("duration must be non-negative")
+        return np.ones(n, dtype=np.complex128)
+
+    def downlink(
+        self, bits: Sequence[int], pie: Optional[PIEConfig] = None
+    ) -> np.ndarray:
+        """Carrier gated with a PIE command (complex baseband)."""
+        envelope = pie_encode(bits, self.fs, pie)
+        return envelope.astype(np.complex128)
+
+    def query_waveform(
+        self,
+        command_bits: Sequence[int],
+        listen_duration_s: float,
+        pie: Optional[PIEConfig] = None,
+    ) -> np.ndarray:
+        """A full interrogation: PIE command, then CW while listening.
+
+        The carrier stays ON during the listen window — the node needs it
+        both as the backscatter illumination and as its power source.
+        """
+        return np.concatenate(
+            [self.downlink(command_bits, pie), self.carrier(listen_duration_s)]
+        )

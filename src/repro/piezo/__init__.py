@@ -1,0 +1,32 @@
+"""Piezoelectric transducer substrate.
+
+Models the electro-mechanical components the VAB node is built from:
+
+* :mod:`repro.piezo.bvd` — Butterworth–Van Dyke equivalent circuit
+  (impedance, resonance, bandwidth) for a potted piezo cylinder.
+* :mod:`repro.piezo.transducer` — acoustic-side behaviour: transmit
+  voltage response, receive sensitivity, directivity, effective aperture.
+* :mod:`repro.piezo.matching` — load reflection coefficients and the
+  backscatter modulation depth they produce.
+* :mod:`repro.piezo.harvester` — acoustic energy harvesting and the node's
+  power budget.
+"""
+
+from repro.piezo.bvd import BVDModel
+from repro.piezo.transducer import Transducer
+from repro.piezo.matching import (
+    modulation_depth,
+    power_wave_reflection,
+    reflection_states,
+)
+from repro.piezo.harvester import EnergyHarvester, PowerBudget
+
+__all__ = [
+    "BVDModel",
+    "Transducer",
+    "power_wave_reflection",
+    "reflection_states",
+    "modulation_depth",
+    "EnergyHarvester",
+    "PowerBudget",
+]

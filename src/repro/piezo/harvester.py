@@ -1,0 +1,149 @@
+"""Acoustic energy harvesting and the node power budget.
+
+The node is battery-free: the same transducers that backscatter also
+harvest the reader's carrier. The harvesting chain is
+
+incident intensity → effective aperture → captured acoustic power →
+rectifier (threshold + efficiency) → storage capacitor → load.
+
+The budget experiment (E8) asks one question: at what range does the
+harvested power stop covering the node's consumption? The consumption
+side is a sum of always-on components (MCU sleep current, switch driver
+leakage) plus the per-bit switching energy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.piezo.transducer import Transducer
+
+REFERENCE_INTENSITY_W_M2 = 6.7e-19
+"""Plane-wave intensity of 1 uPa in sea water: ``p^2 / (rho c)`` in W/m^2."""
+
+
+def intensity_from_spl(pressure_level_db: float) -> float:
+    """Plane-wave acoustic intensity (W/m^2) for a level in dB re 1 uPa."""
+    return REFERENCE_INTENSITY_W_M2 * 10.0 ** (pressure_level_db / 10.0)
+
+
+@dataclass(frozen=True)
+class EnergyHarvester:
+    """Harvesting chain parameters.
+
+    Attributes:
+        transducer: the element used for capture.
+        num_elements: elements wired to the harvester.
+        rectifier_efficiency: AC->DC conversion efficiency in (0, 1].
+        rectifier_threshold_v: minimum open-circuit voltage before the
+            charge-pump rectifier starts up (negative-threshold MOSFET
+            pumps cold-start around tens of millivolts).
+        electroacoustic_efficiency: acoustic-to-electrical conversion
+            fraction of the element (radiation_fraction of the BVD model
+            is a good default; kept separate so it can be swept).
+        storage_capacitance_f: storage capacitor, farads.
+    """
+
+    transducer: Transducer = field(default_factory=Transducer)
+    num_elements: int = 2
+    rectifier_efficiency: float = 0.55
+    rectifier_threshold_v: float = 0.015
+    electroacoustic_efficiency: float = 0.6
+    storage_capacitance_f: float = 220e-6
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 1:
+            raise ValueError("need at least one element")
+        if not 0 < self.rectifier_efficiency <= 1:
+            raise ValueError("rectifier efficiency in (0, 1]")
+        if not 0 < self.electroacoustic_efficiency <= 1:
+            raise ValueError("electroacoustic efficiency in (0, 1]")
+
+    def captured_acoustic_power_w(
+        self, pressure_level_db: float, frequency_hz: float
+    ) -> float:
+        """Acoustic power captured from an incident level, watts."""
+        intensity = intensity_from_spl(pressure_level_db)
+        aperture = self.transducer.effective_aperture_m2(frequency_hz)
+        return intensity * aperture * self.num_elements
+
+    def harvested_power_w(
+        self, pressure_level_db: float, frequency_hz: float
+    ) -> float:
+        """DC power delivered to storage, watts (0 below threshold)."""
+        v_oc = self.transducer.received_voltage_rms(pressure_level_db, frequency_hz)
+        if v_oc < self.rectifier_threshold_v:
+            return 0.0
+        acoustic = self.captured_acoustic_power_w(pressure_level_db, frequency_hz)
+        return (
+            acoustic * self.electroacoustic_efficiency * self.rectifier_efficiency
+        )
+
+    def charge_time_s(
+        self,
+        pressure_level_db: float,
+        frequency_hz: float,
+        target_voltage: float = 2.2,
+        load_power_w: float = 0.0,
+    ) -> float:
+        """Time to charge storage to a target voltage, seconds.
+
+        Returns ``inf`` when harvest does not exceed the load.
+        """
+        p_net = self.harvested_power_w(pressure_level_db, frequency_hz) - load_power_w
+        if p_net <= 0:
+            return math.inf
+        energy = 0.5 * self.storage_capacitance_f * target_voltage**2
+        return energy / p_net
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """The node's consumption side, watts.
+
+    Defaults reflect an ultra-low-power backscatter node: a sleepy MCU or
+    FSM sequencer, an analog switch, and a wake-up/envelope detector for
+    the downlink. Per-bit switching energy covers charging the switch gate
+    plus the transducer static capacitance.
+    """
+
+    mcu_sleep_w: float = 0.6e-6
+    mcu_active_w: float = 18e-6
+    switch_driver_w: float = 0.9e-6
+    wakeup_receiver_w: float = 0.3e-6
+    switching_energy_per_bit_j: float = 3.0e-9
+    duty_cycle: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in [0, 1]")
+
+    def average_power_w(self, bitrate_bps: float = 1000.0) -> float:
+        """Duty-cycled average consumption at an uplink bitrate, watts."""
+        if bitrate_bps < 0:
+            raise ValueError("bitrate must be non-negative")
+        active = (
+            self.mcu_active_w
+            + self.switch_driver_w
+            + self.switching_energy_per_bit_j * bitrate_bps
+        )
+        idle = self.mcu_sleep_w + self.wakeup_receiver_w
+        return self.duty_cycle * active + (1.0 - self.duty_cycle) * idle
+
+    def breakdown(self, bitrate_bps: float = 1000.0) -> Dict[str, float]:
+        """Per-component average power, watts (for the E8 table)."""
+        return {
+            "mcu_sleep": (1.0 - self.duty_cycle) * self.mcu_sleep_w,
+            "wakeup_receiver": (1.0 - self.duty_cycle) * self.wakeup_receiver_w,
+            "mcu_active": self.duty_cycle * self.mcu_active_w,
+            "switch_driver": self.duty_cycle * self.switch_driver_w,
+            "switching": self.duty_cycle
+            * self.switching_energy_per_bit_j
+            * bitrate_bps,
+        }
+
+    def is_sustainable(self, harvested_w: float, bitrate_bps: float = 1000.0) -> bool:
+        """True when harvesting covers the duty-cycled consumption."""
+        return harvested_w >= self.average_power_w(bitrate_bps)

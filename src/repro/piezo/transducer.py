@@ -1,0 +1,97 @@
+"""Acoustic-side transducer behaviour: sensitivity, response, aperture.
+
+A transducer is the BVD electrical model plus its acoustic calibration:
+
+* **TVR** (transmit voltage response): source level per volt of drive,
+  dB re 1 uPa·m/V. Peaks at series resonance with the motional-branch
+  frequency shape.
+* **RVS** (receive voltage sensitivity): open-circuit volts per pascal,
+  dB re 1 V/uPa.
+* **Directivity**: a potted cylinder is omnidirectional in the horizontal
+  plane with a soft cosine-ish roll-off in elevation; single elements are
+  intentionally broad-beam — all the directivity in VAB comes from the
+  *array*, not the element.
+
+The calibration numbers default to values typical of small potted
+cylinders in this band and can be overridden for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.piezo.bvd import BVDModel
+
+
+@dataclass(frozen=True)
+class Transducer:
+    """One piezo element: BVD circuit plus acoustic calibration.
+
+    Attributes:
+        bvd: electrical equivalent circuit.
+        tvr_peak_db: transmit voltage response at resonance,
+            dB re 1 uPa·m/V.
+        rvs_peak_db: open-circuit receive sensitivity at resonance,
+            dB re 1 V/uPa.
+        elevation_rolloff_exponent: exponent ``n`` of the ``cos^n``
+            elevation pattern (0 = perfectly omnidirectional).
+    """
+
+    bvd: BVDModel = field(default_factory=BVDModel.vab_element)
+    tvr_peak_db: float = 145.0
+    rvs_peak_db: float = -193.0
+    elevation_rolloff_exponent: float = 0.5
+
+    # -- frequency response -------------------------------------------------
+
+    def _resonance_shape(self, frequency_hz: float) -> float:
+        """Normalised (0, 1] magnitude response of the motional branch."""
+        zm = self.bvd.motional_impedance(frequency_hz)
+        return self.bvd.rm_ohm / abs(zm)
+
+    def tvr_db(self, frequency_hz: float) -> float:
+        """Transmit voltage response at a frequency, dB re 1 uPa·m/V."""
+        shape = self._resonance_shape(frequency_hz)
+        return self.tvr_peak_db + 20.0 * math.log10(max(shape, 1e-15))
+
+    def rvs_db(self, frequency_hz: float) -> float:
+        """Receive voltage sensitivity at a frequency, dB re 1 V/uPa."""
+        shape = self._resonance_shape(frequency_hz)
+        return self.rvs_peak_db + 20.0 * math.log10(max(shape, 1e-15))
+
+    # -- conversions -----------------------------------------------------------
+
+    def source_level_db(self, drive_voltage_rms: float, frequency_hz: float) -> float:
+        """Source level for a drive voltage, dB re 1 uPa @ 1 m."""
+        if drive_voltage_rms <= 0:
+            raise ValueError("drive voltage must be positive")
+        return self.tvr_db(frequency_hz) + 20.0 * math.log10(drive_voltage_rms)
+
+    def received_voltage_rms(
+        self, pressure_level_db: float, frequency_hz: float
+    ) -> float:
+        """Open-circuit voltage for an incident pressure level (dB re 1 uPa)."""
+        v_db = pressure_level_db + self.rvs_db(frequency_hz)
+        return 10.0 ** (v_db / 20.0)
+
+    # -- directivity ----------------------------------------------------------
+
+    def element_gain(self, elevation_deg: float) -> float:
+        """Linear amplitude pattern vs elevation off the horizontal plane."""
+        e = abs(elevation_deg)
+        if e >= 90.0:
+            return 0.0 if self.elevation_rolloff_exponent > 0 else 1.0
+        return math.cos(math.radians(e)) ** self.elevation_rolloff_exponent
+
+    # -- aperture --------------------------------------------------------------
+
+    def effective_aperture_m2(self, frequency_hz: float, sound_speed: float = 1500.0) -> float:
+        """Effective capture area of the (near-omni) element, m^2.
+
+        For an omnidirectional receiver the effective aperture is
+        ``lambda^2 / (4 pi)`` — the acoustic analogue of the antenna
+        theorem — which drives how much power the harvester can collect.
+        """
+        lam = sound_speed / frequency_hz
+        return lam * lam / (4.0 * math.pi)

@@ -1,0 +1,75 @@
+"""Saving and loading campaign results.
+
+Benchmarks print their tables, but longitudinal studies (comparing runs
+across code versions, aggregating trials across machines) need results on
+disk. Plain JSON, schema-versioned, round-trip tested.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Union
+
+from repro.sim.results import BERPoint, CampaignResult
+
+SCHEMA_VERSION = 1
+
+
+def campaign_to_dict(result: CampaignResult) -> dict:
+    """Serialise a campaign to a plain dict (JSON-safe)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": result.label,
+        "points": [
+            {
+                "range_m": p.range_m,
+                "incidence_deg": p.incidence_deg,
+                "trials": p.trials,
+                "ber": p.ber,
+                "frame_success_rate": p.frame_success_rate,
+                "detection_rate": p.detection_rate,
+                # -inf is not valid JSON; use None on the wire.
+                "mean_snr_db": (
+                    p.mean_snr_db if math.isfinite(p.mean_snr_db) else None
+                ),
+            }
+            for p in result.points
+        ],
+    }
+
+
+def campaign_from_dict(data: dict) -> CampaignResult:
+    """Rebuild a campaign from its serialised form."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {data.get('schema')!r}; "
+            f"this build reads {SCHEMA_VERSION}"
+        )
+    result = CampaignResult(label=data["label"])
+    for p in data["points"]:
+        snr = p["mean_snr_db"]
+        result.add(
+            BERPoint(
+                range_m=float(p["range_m"]),
+                incidence_deg=float(p["incidence_deg"]),
+                trials=int(p["trials"]),
+                ber=float(p["ber"]),
+                frame_success_rate=float(p["frame_success_rate"]),
+                detection_rate=float(p["detection_rate"]),
+                mean_snr_db=float(snr) if snr is not None else -math.inf,
+            )
+        )
+    return result
+
+
+def save_campaign(result: CampaignResult, path: Union[str, Path]) -> None:
+    """Write a campaign to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(campaign_to_dict(result), indent=2))
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignResult:
+    """Read a campaign from a JSON file."""
+    return campaign_from_dict(json.loads(Path(path).read_text()))

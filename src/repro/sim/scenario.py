@@ -1,0 +1,145 @@
+"""Deployment scenarios: everything an experiment needs in one object.
+
+The two presets mirror the paper's testbeds:
+
+* :meth:`Scenario.river` — the Charles-River-style shallow fresh-water
+  site: calm surface, 4 m water column, moderate urban noise.
+* :meth:`Scenario.ocean` — the coastal Atlantic site: deeper column,
+  wind-driven sea state, salt-water absorption, moving surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.acoustics.channel import AcousticChannel
+from repro.acoustics.constants import WaterProperties
+from repro.acoustics.noise import NoiseConditions
+from repro.acoustics.spreading import SPHERICAL_EXPONENT
+from repro.acoustics.surface import SeaSurface
+from repro.geometry.placement import Pose, incidence_angle_deg
+from repro.geometry.vec3 import Vec3
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete experiment environment.
+
+    Attributes:
+        water: water-column properties.
+        surface: sea-surface state.
+        noise: ambient-noise conditions.
+        carrier_hz: reader carrier frequency.
+        source_level_db: reader source level, dB re 1 uPa @ 1 m.
+        chip_rate: uplink chip rate, chips/s.
+        samples_per_chip: waveform-simulator oversampling.
+        spreading_exponent: geometric spreading exponent for the site.
+        reader: reader pose.
+        node: node pose (single-node experiments).
+        max_bounces: multipath bounce budget. The river/ocean presets use
+            0 (free-field reference condition — the geometry the paper's
+            link-budget analysis assumes and the calibration targets);
+            the multipath-robustness experiment (E11) raises it.
+        platform_drift_mps: radial drift of the reader platform (boat
+            swing / current); shows up as Doppler on the round trip.
+        name: label used in benchmark tables.
+    """
+
+    water: WaterProperties = field(default_factory=WaterProperties.river)
+    surface: SeaSurface = field(default_factory=SeaSurface.calm)
+    noise: NoiseConditions = field(default_factory=NoiseConditions.quiet_river)
+    carrier_hz: float = 18_500.0
+    source_level_db: float = 185.0
+    chip_rate: float = 2_000.0
+    samples_per_chip: int = 8
+    spreading_exponent: float = SPHERICAL_EXPONENT
+    reader: Pose = field(default_factory=lambda: Pose(Vec3(0.0, 0.0, 2.0)))
+    node: Pose = field(default_factory=lambda: Pose(Vec3(50.0, 0.0, 2.0), 180.0))
+    max_bounces: int = 2
+    platform_drift_mps: float = 0.0
+    name: str = "custom"
+
+    # -- presets ---------------------------------------------------------------
+
+    @staticmethod
+    def river(range_m: float = 50.0, node_heading_offset_deg: float = 0.0) -> "Scenario":
+        """Charles-River-style site with the node ``range_m`` down-range."""
+        depth = 2.0
+        return Scenario(
+            water=WaterProperties.river(depth_m=4.0),
+            surface=SeaSurface.calm(),
+            noise=NoiseConditions.quiet_river(),
+            reader=Pose(Vec3(0.0, 0.0, depth)),
+            node=Pose(Vec3(range_m, 0.0, depth), 180.0 + node_heading_offset_deg),
+            spreading_exponent=SPHERICAL_EXPONENT,
+            max_bounces=0,
+            platform_drift_mps=0.02,
+            name="river",
+        )
+
+    @staticmethod
+    def ocean(
+        range_m: float = 50.0,
+        sea_state: int = 3,
+        node_heading_offset_deg: float = 0.0,
+    ) -> "Scenario":
+        """Coastal-ocean site at a WMO sea state."""
+        depth = 6.0
+        return Scenario(
+            water=WaterProperties.ocean(depth_m=15.0),
+            surface=SeaSurface.from_sea_state(sea_state),
+            noise=NoiseConditions.coastal_ocean(sea_state),
+            reader=Pose(Vec3(0.0, 0.0, depth)),
+            node=Pose(Vec3(range_m, 0.0, depth), 180.0 + node_heading_offset_deg),
+            spreading_exponent=SPHERICAL_EXPONENT,
+            max_bounces=0,
+            platform_drift_mps=0.15,
+            name=f"ocean-ss{sea_state}",
+        )
+
+    # -- derived -----------------------------------------------------------------
+
+    @property
+    def fs(self) -> float:
+        """Waveform-simulator sample rate, Hz."""
+        return self.chip_rate * self.samples_per_chip
+
+    @property
+    def range_m(self) -> float:
+        """Reader-to-node slant range, metres."""
+        return self.reader.position.distance_to(self.node.position)
+
+    @property
+    def incidence_deg(self) -> float:
+        """Angle of the reader direction off the node's broadside."""
+        return incidence_angle_deg(self.node, self.reader.position)
+
+    def channel(self, direct_only: bool = False) -> AcousticChannel:
+        """The acoustic channel factory for this site."""
+        return AcousticChannel(
+            carrier_hz=self.carrier_hz,
+            water=self.water,
+            surface=self.surface,
+            max_bounces=0 if direct_only else self.max_bounces,
+            spreading_exponent=self.spreading_exponent,
+        )
+
+    def at_range(self, range_m: float) -> "Scenario":
+        """Copy with the node moved to a new down-range distance."""
+        if range_m <= 0:
+            raise ValueError("range must be positive")
+        new_node = Pose(
+            Vec3(range_m, self.node.position.y, self.node.position.z),
+            self.node.heading_deg,
+            self.node.tilt_deg,
+        )
+        return replace(self, node=new_node)
+
+    def with_node_rotation(self, offset_deg: float) -> "Scenario":
+        """Copy with the node rotated away from facing the reader."""
+        base = Pose(self.node.position, 180.0, self.node.tilt_deg)
+        return replace(self, node=base.rotated(offset_deg))
+
+    def carrier_wavelength(self) -> float:
+        """Carrier wavelength at this site, metres."""
+        return self.water.sound_speed / self.carrier_hz

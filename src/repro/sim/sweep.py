@@ -1,0 +1,44 @@
+"""Parameter-sweep helpers for the standard experiment axes."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.sim.scenario import Scenario
+
+
+def sweep_range(
+    base: Scenario, ranges_m: Sequence[float]
+) -> List[Scenario]:
+    """Scenarios with the node stepped through a list of ranges."""
+    return [base.at_range(float(r)) for r in ranges_m]
+
+
+def sweep_angles(
+    base: Scenario, offsets_deg: Sequence[float]
+) -> List[Scenario]:
+    """Scenarios with the node rotated through orientation offsets."""
+    return [base.with_node_rotation(float(a)) for a in offsets_deg]
+
+
+def log_ranges(
+    start_m: float, stop_m: float, points: int
+) -> np.ndarray:
+    """Logarithmically spaced ranges (the natural axis for range sweeps)."""
+    if start_m <= 0 or stop_m <= start_m:
+        raise ValueError("need 0 < start < stop")
+    if points < 2:
+        raise ValueError("need at least two points")
+    return np.logspace(np.log10(start_m), np.log10(stop_m), points)
+
+
+def linear_angles(
+    max_offset_deg: float = 60.0, step_deg: float = 15.0
+) -> np.ndarray:
+    """Symmetric orientation offsets: -max..+max in fixed steps."""
+    if max_offset_deg <= 0 or step_deg <= 0:
+        raise ValueError("offsets must be positive")
+    n = int(max_offset_deg / step_deg)
+    return np.arange(-n, n + 1) * step_deg

@@ -1,0 +1,217 @@
+"""Planar (2-D) Van Atta arrays: retrodirectivity in both planes.
+
+A linear array retrodirects only in its own plane — tilt the node in
+elevation and the reflection walks away. The planar extension (the
+paper's scaling direction for full-orientation coverage) places elements
+on a grid and pairs each with its point reflection through the array
+centre; the same mirror argument then conjugates the phase gradient in
+*both* axes, making the monostatic gain independent of azimuth and
+elevation simultaneously.
+
+Geometry: the array face lies in a local (u, w) plane (u = horizontal
+aperture axis, w = vertical). An incident direction is (azimuth, elevation)
+off broadside; its direction cosines on the face are
+``(sin(az) cos(el), sin(el))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.piezo.transducer import Transducer
+from repro.vanatta.polarity import PairingScheme, pair_phase_errors
+
+
+def grid_positions(
+    num_u: int, num_w: int, spacing_m: float
+) -> np.ndarray:
+    """Element coordinates of a centred ``num_u x num_w`` grid, shape (N, 2)."""
+    if num_u < 1 or num_w < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    if spacing_m <= 0:
+        raise ValueError("spacing must be positive")
+    us = (np.arange(num_u) - (num_u - 1) / 2.0) * spacing_m
+    ws = (np.arange(num_w) - (num_w - 1) / 2.0) * spacing_m
+    uu, ww = np.meshgrid(us, ws, indexing="ij")
+    return np.column_stack([uu.ravel(), ww.ravel()])
+
+
+def point_mirror_pairs(positions: np.ndarray, tol: float = 1e-9) -> List[Tuple[int, int]]:
+    """Pair every element with its point reflection through the origin.
+
+    Raises:
+        ValueError: if some element has no mirror partner in the layout.
+    """
+    n = len(positions)
+    used = set()
+    pairs: List[Tuple[int, int]] = []
+    for i in range(n):
+        if i in used:
+            continue
+        target = -positions[i]
+        match = None
+        for j in range(i, n):
+            if j in used and j != i:
+                continue
+            if np.allclose(positions[j], target, atol=tol):
+                match = j
+                break
+        if match is None:
+            raise ValueError(f"element {i} has no point-mirror partner")
+        pairs.append((i, match))
+        used.add(i)
+        used.add(match)
+    return pairs
+
+
+@dataclass(frozen=True)
+class PlanarVanAttaArray:
+    """A point-mirror-paired planar array.
+
+    Attributes:
+        positions_m: (N, 2) element coordinates in the face plane.
+        pairs: index pairs connected by equal-length lines.
+        element: shared transducer model.
+        pairing: polarity scheme of the pair wiring.
+        line_loss_db: one-way electrical loss per pair line.
+    """
+
+    positions_m: np.ndarray
+    pairs: Tuple[Tuple[int, int], ...]
+    element: Transducer = field(default_factory=Transducer)
+    pairing: PairingScheme = PairingScheme.CROSS_POLARITY
+    line_loss_db: float = 0.5
+
+    def __post_init__(self) -> None:
+        seen = set()
+        n = len(self.positions_m)
+        for a, b in self.pairs:
+            if not (0 <= a < n and 0 <= b < n):
+                raise ValueError(f"pair ({a}, {b}) out of range")
+            for e in {a, b}:
+                if e in seen:
+                    raise ValueError(f"element {e} in more than one pair")
+                seen.add(e)
+        if len(seen) != n:
+            raise ValueError("every element must belong to exactly one pair")
+
+    @staticmethod
+    def uniform(
+        num_u: int = 2,
+        num_w: int = 2,
+        spacing_m: float = None,
+        frequency_hz: float = 18_500.0,
+        sound_speed: float = 1500.0,
+        element: Transducer = None,
+        pairing: PairingScheme = PairingScheme.CROSS_POLARITY,
+    ) -> "PlanarVanAttaArray":
+        """A half-wavelength grid with point-mirror pairing."""
+        if spacing_m is None:
+            spacing_m = sound_speed / frequency_hz / 2.0
+        positions = grid_positions(num_u, num_w, spacing_m)
+        return PlanarVanAttaArray(
+            positions_m=positions,
+            pairs=tuple(point_mirror_pairs(positions)),
+            element=element if element is not None else Transducer(),
+            pairing=pairing,
+        )
+
+    @property
+    def num_elements(self) -> int:
+        """Number of physical elements."""
+        return len(self.positions_m)
+
+    def line_gain(self) -> float:
+        """Linear amplitude gain of one pair line."""
+        return 10.0 ** (-self.line_loss_db / 20.0)
+
+    def is_point_symmetric(self, tol: float = 1e-9) -> bool:
+        """True when every pair mirrors through the array centre."""
+        for a, b in self.pairs:
+            if not np.allclose(self.positions_m[a], -self.positions_m[b], atol=tol):
+                return False
+        return True
+
+
+def direction_cosines(azimuth_deg: float, elevation_deg: float) -> np.ndarray:
+    """Face-plane direction cosines (u, w) of an incidence direction."""
+    az = math.radians(azimuth_deg)
+    el = math.radians(elevation_deg)
+    return np.array([math.sin(az) * math.cos(el), math.sin(el)])
+
+
+def planar_response(
+    array: PlanarVanAttaArray,
+    frequency_hz: float,
+    az_in_deg: float,
+    el_in_deg: float,
+    az_out_deg: float,
+    el_out_deg: float,
+    sound_speed: float = 1500.0,
+) -> complex:
+    """Bistatic complex response of the planar array (per ideal element)."""
+    if frequency_hz <= 0 or sound_speed <= 0:
+        raise ValueError("frequency and sound speed must be positive")
+    k = 2.0 * math.pi * frequency_hz / sound_speed
+    d_in = direction_cosines(az_in_deg, el_in_deg)
+    d_out = direction_cosines(az_out_deg, el_out_deg)
+    x = array.positions_m
+    phases = pair_phase_errors(len(array.pairs), array.pairing)
+    line = array.line_gain()
+
+    # Element pattern: treat the total off-broadside angle per leg.
+    def off_angle(az, el):
+        c = math.cos(math.radians(az)) * math.cos(math.radians(el))
+        return math.degrees(math.acos(max(-1.0, min(1.0, c))))
+
+    g_in = array.element.element_gain(off_angle(az_in_deg, el_in_deg))
+    g_out = array.element.element_gain(off_angle(az_out_deg, el_out_deg))
+
+    total = 0.0 + 0.0j
+    for (a, b), extra in zip(array.pairs, phases):
+        rot = complex(math.cos(extra), math.sin(extra))
+        if a == b:
+            total += rot * np.exp(1j * k * (x[a] @ d_in + x[a] @ d_out))
+        else:
+            total += rot * np.exp(1j * k * (x[a] @ d_in + x[b] @ d_out))
+            total += rot * np.exp(1j * k * (x[b] @ d_in + x[a] @ d_out))
+    return complex(total * line * g_in * g_out)
+
+
+def planar_monostatic_gain(
+    array: PlanarVanAttaArray,
+    frequency_hz: float,
+    azimuth_deg: float,
+    elevation_deg: float,
+    sound_speed: float = 1500.0,
+) -> complex:
+    """Response back toward the source from an (az, el) direction."""
+    return planar_response(
+        array,
+        frequency_hz,
+        azimuth_deg,
+        elevation_deg,
+        azimuth_deg,
+        elevation_deg,
+        sound_speed,
+    )
+
+
+def planar_monostatic_gain_db(
+    array: PlanarVanAttaArray,
+    frequency_hz: float,
+    azimuth_deg: float,
+    elevation_deg: float,
+    sound_speed: float = 1500.0,
+) -> float:
+    """Monostatic field gain in dB re one ideal element."""
+    mag = abs(
+        planar_monostatic_gain(
+            array, frequency_hz, azimuth_deg, elevation_deg, sound_speed
+        )
+    )
+    return 20.0 * math.log10(max(mag, 1e-15))

@@ -1,0 +1,124 @@
+"""Far-field phasor response of a Van Atta array.
+
+The narrowband model: a plane wave at angle ``theta_in`` (from broadside)
+paints phase ``k x_i sin(theta_in)`` on element ``i``. Each pair re-radiates
+the wave captured by one element from its mirror twin, so the field
+launched toward ``theta_out`` is
+
+``sum over pairs (a, b) of e^{jk(x_a u_in + x_b u_out)} + e^{jk(x_b u_in + x_a u_out)}``
+
+with ``u = sin(theta)``. For mirror pairs ``x_b = -x_a`` every term hits
+phase zero at ``theta_out = theta_in`` — the reflection is coherent back
+toward the source at *any* incidence, which is the entire trick.
+
+Normalisation: one ideally-reflecting element scores ``1.0`` monostatic.
+An N-element Van Atta therefore scores ``N`` in field (``20 log10 N`` dB
+in round-trip power), before line losses, polarity errors, and element
+roll-off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.vanatta.array import VanAttaArray
+
+
+def _wavenumber(frequency_hz: float, sound_speed: float) -> float:
+    if frequency_hz <= 0 or sound_speed <= 0:
+        raise ValueError("frequency and sound speed must be positive")
+    return 2.0 * math.pi * frequency_hz / sound_speed
+
+
+def response(
+    array: VanAttaArray,
+    frequency_hz: float,
+    theta_in_deg: float,
+    theta_out_deg: float,
+    sound_speed: float = 1500.0,
+) -> complex:
+    """Bistatic complex response (normalised to one ideal element).
+
+    Args:
+        array: the Van Atta array.
+        frequency_hz: operating frequency.
+        theta_in_deg: incidence angle from broadside, degrees.
+        theta_out_deg: observation angle from broadside, degrees.
+        sound_speed: medium sound speed.
+
+    Returns:
+        Complex field amplitude toward ``theta_out``.
+    """
+    k = _wavenumber(frequency_hz, sound_speed)
+    u_in = math.sin(math.radians(theta_in_deg))
+    u_out = math.sin(math.radians(theta_out_deg))
+    x = array.positions_m
+    phases = array.pair_phases()
+    line = array.line_gain()
+    g_in = array.element.element_gain(theta_in_deg)
+    g_out = array.element.element_gain(theta_out_deg)
+
+    total = 0.0 + 0.0j
+    for (a, b), extra in zip(array.pairs, phases):
+        rot = complex(math.cos(extra), math.sin(extra))
+        if a == b:
+            total += rot * np.exp(1j * k * (x[a] * u_in + x[a] * u_out))
+        else:
+            total += rot * np.exp(1j * k * (x[a] * u_in + x[b] * u_out))
+            total += rot * np.exp(1j * k * (x[b] * u_in + x[a] * u_out))
+    return complex(total * line * g_in * g_out)
+
+
+def monostatic_gain(
+    array: VanAttaArray,
+    frequency_hz: float,
+    theta_deg: float,
+    sound_speed: float = 1500.0,
+) -> complex:
+    """Response back toward the source (the backscatter direction)."""
+    return response(array, frequency_hz, theta_deg, theta_deg, sound_speed)
+
+
+def monostatic_gain_db(
+    array: VanAttaArray,
+    frequency_hz: float,
+    theta_deg: float,
+    sound_speed: float = 1500.0,
+) -> float:
+    """Monostatic field gain in dB re one ideal element."""
+    mag = abs(monostatic_gain(array, frequency_hz, theta_deg, sound_speed))
+    return 20.0 * math.log10(max(mag, 1e-15))
+
+
+def pattern(
+    array: VanAttaArray,
+    frequency_hz: float,
+    theta_in_deg: float,
+    thetas_out_deg: Sequence[float],
+    sound_speed: float = 1500.0,
+) -> np.ndarray:
+    """Bistatic pattern: complex response at each observation angle."""
+    return np.array(
+        [
+            response(array, frequency_hz, theta_in_deg, float(t), sound_speed)
+            for t in thetas_out_deg
+        ]
+    )
+
+
+def monostatic_pattern_db(
+    array: VanAttaArray,
+    frequency_hz: float,
+    thetas_deg: Sequence[float],
+    sound_speed: float = 1500.0,
+) -> np.ndarray:
+    """Monostatic gain (dB) across incidence angles — the E1 curve."""
+    return np.array(
+        [
+            monostatic_gain_db(array, frequency_hz, float(t), sound_speed)
+            for t in thetas_deg
+        ]
+    )

@@ -1,0 +1,59 @@
+"""Aperture-scaling design rules (the E5 study).
+
+The retrodirective field gain grows linearly with element count, so the
+round-trip SNR grows as ``20 log10 N`` — every doubling of the array buys
+6 dB. Because absorption makes underwater loss super-logarithmic in
+range, those dB translate into large but *diminishing* range extensions;
+:func:`repro.sim.linkbudget.max_range_m` inverts the budget numerically.
+
+Spacing rules: at lambda/2 the pattern is clean; pushing the pitch past
+one wavelength introduces grating lobes that leak reflected energy into
+spurious directions (and therefore out of the monostatic return at some
+angles).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def peak_gain_db(num_elements: int) -> float:
+    """Monostatic field gain of an ideal N-element Van Atta, dB.
+
+    Relative to a single ideal element; field scales with N.
+    """
+    if num_elements < 1:
+        raise ValueError("need at least one element")
+    return 20.0 * math.log10(num_elements)
+
+
+def aperture_m(num_elements: int, spacing_m: float) -> float:
+    """End-to-end aperture of a uniform array, metres."""
+    if num_elements < 1:
+        raise ValueError("need at least one element")
+    if spacing_m <= 0:
+        raise ValueError("spacing must be positive")
+    return (num_elements - 1) * spacing_m
+
+
+def recommended_spacing(frequency_hz: float, sound_speed: float = 1500.0) -> float:
+    """Half-wavelength pitch, metres."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency must be positive")
+    return sound_speed / frequency_hz / 2.0
+
+
+def grating_lobe_free(spacing_m: float, frequency_hz: float, sound_speed: float = 1500.0) -> bool:
+    """True when no grating lobe exists for any scan angle (d < lambda/2... lambda).
+
+    For a retrodirective reflector illuminated from up to +-90 degrees the
+    safe condition is pitch strictly below one wavelength; lambda/2 keeps
+    margin for wideband operation.
+    """
+    lam = sound_speed / frequency_hz
+    return spacing_m < lam
+
+
+def gain_improvement_db(n_from: int, n_to: int) -> float:
+    """Gain delta when growing an array from ``n_from`` to ``n_to`` elements."""
+    return peak_gain_db(n_to) - peak_gain_db(n_from)

@@ -1,0 +1,144 @@
+"""Wideband behaviour: what bandwidth does the system actually have?
+
+Three mechanisms cap the usable band, and they trade against each other:
+
+1. **The piezo resonance.** The motional branch rolls off as ``f_s / Q``;
+   high-Q elements are efficient but narrow.
+2. **The modulation network.** The switch's OFF state is a conjugate
+   match *at one frequency*; away from it the match degrades and the
+   ON/OFF contrast shrinks.
+3. **The array geometry.** Pair spacing is λ/2 at the design frequency;
+   off-frequency the retrodirective condition still holds exactly (the
+   conjugation argument is frequency-independent for mirror pairs), but
+   grating lobes appear once the spacing exceeds λ.
+
+The composite "system response" here multiplies the element's two-way
+conversion (TVR-shaped reflection efficiency) with the modulation depth
+at each frequency, normalised to the design point — the curve that
+decides how many FDMA channels or how much chip rate the link supports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.piezo.bvd import BVDModel
+from repro.piezo.matching import modulation_depth_for
+from repro.vanatta.array import VanAttaArray
+from repro.vanatta.retrodirective import monostatic_gain
+
+
+@dataclass(frozen=True)
+class SystemResponse:
+    """The composite backscatter response across frequency.
+
+    Attributes:
+        frequencies_hz: evaluation grid.
+        element_db: two-way element conversion response (0 dB at peak).
+        depth_db: modulation-depth response relative to the design point.
+        array_db: array monostatic gain at each frequency (absolute).
+        total_db: element + depth (the comm-bandwidth curve), 0 dB peak.
+    """
+
+    frequencies_hz: np.ndarray
+    element_db: np.ndarray
+    depth_db: np.ndarray
+    array_db: np.ndarray
+    total_db: np.ndarray
+
+    def bandwidth_hz(self, drop_db: float = 3.0) -> float:
+        """Contiguous band around the peak within ``drop_db`` of it."""
+        peak = int(np.argmax(self.total_db))
+        level = self.total_db[peak] - drop_db
+        lo = peak
+        while lo > 0 and self.total_db[lo - 1] >= level:
+            lo -= 1
+        hi = peak
+        while hi < len(self.total_db) - 1 and self.total_db[hi + 1] >= level:
+            hi += 1
+        return float(self.frequencies_hz[hi] - self.frequencies_hz[lo])
+
+
+def system_response(
+    array: VanAttaArray,
+    bvd: BVDModel,
+    frequencies_hz: Sequence[float],
+    design_frequency_hz: float = None,
+    theta_deg: float = 0.0,
+    sound_speed: float = 1500.0,
+) -> SystemResponse:
+    """Evaluate the composite response across a frequency grid.
+
+    Args:
+        array: the Van Atta array (geometry fixed at build time).
+        bvd: element equivalent circuit.
+        frequencies_hz: evaluation grid.
+        design_frequency_hz: the matching-network design point (element
+            series resonance if None).
+        theta_deg: incidence angle for the array term.
+        sound_speed: medium sound speed.
+
+    Returns:
+        The per-mechanism and composite responses.
+    """
+    freqs = np.asarray(list(frequencies_hz), dtype=np.float64)
+    if len(freqs) < 2:
+        raise ValueError("need a frequency grid")
+    f0 = design_frequency_hz or bvd.series_resonance_hz
+    z_off_design = bvd.conjugate_match(f0)
+
+    element = np.empty(len(freqs))
+    depth = np.empty(len(freqs))
+    arr_gain = np.empty(len(freqs))
+    for i, f in enumerate(freqs):
+        # Two-way conversion: receive + re-transmit both ride the
+        # motional-branch shape.
+        shape = bvd.rm_ohm / abs(bvd.motional_impedance(f))
+        element[i] = 40.0 * math.log10(max(shape, 1e-12))
+        d = modulation_depth_for(bvd, f, z_off=z_off_design)
+        depth[i] = 20.0 * math.log10(max(min(d, 1.0), 1e-12))
+        g = abs(monostatic_gain(array, f, theta_deg, sound_speed))
+        arr_gain[i] = 20.0 * math.log10(max(g, 1e-12))
+
+    depth_at_f0 = 20.0 * math.log10(
+        max(modulation_depth_for(bvd, f0, z_off=z_off_design), 1e-12)
+    )
+    total = element + (depth - depth_at_f0)
+    total = total - total.max()
+    return SystemResponse(
+        frequencies_hz=freqs,
+        element_db=element - element.max(),
+        depth_db=depth - depth_at_f0,
+        array_db=arr_gain,
+        total_db=total,
+    )
+
+
+def usable_bandwidth_hz(
+    bvd: BVDModel,
+    array: VanAttaArray = None,
+    drop_db: float = 3.0,
+    sound_speed: float = 1500.0,
+) -> float:
+    """Convenience: composite bandwidth around the element resonance."""
+    f0 = bvd.series_resonance_hz
+    freqs = np.linspace(0.85 * f0, 1.15 * f0, 241)
+    if array is None:
+        array = VanAttaArray.uniform(
+            4, frequency_hz=f0, sound_speed=sound_speed
+        )
+    response = system_response(array, bvd, freqs, sound_speed=sound_speed)
+    return response.bandwidth_hz(drop_db)
+
+
+def max_chip_rate_for_bandwidth(bandwidth_hz: float, rolloff: float = 1.0) -> float:
+    """Chip rate a band supports (OOK occupies ~(1+rolloff) x chip rate)."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    if rolloff < 0:
+        raise ValueError("rolloff must be non-negative")
+    return bandwidth_hz / (1.0 + rolloff)

@@ -1,0 +1,90 @@
+"""Tests for absorption models (Thorp and Francois-Garrison)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics.absorption import (
+    absorption_db_per_km,
+    absorption_francois_garrison,
+    absorption_thorp,
+)
+from repro.acoustics.constants import WaterProperties
+
+
+class TestThorp:
+    def test_known_value_at_10khz(self):
+        # Thorp at 10 kHz is about 1 dB/km (textbook figure).
+        assert absorption_thorp(10_000.0) == pytest.approx(1.0, rel=0.25)
+
+    def test_known_value_at_100khz(self):
+        # ~35 dB/km around 100 kHz.
+        assert absorption_thorp(100_000.0) == pytest.approx(35.0, rel=0.3)
+
+    def test_monotonic_increase(self):
+        freqs = [1e3, 5e3, 10e3, 20e3, 50e3, 1e5, 5e5]
+        alphas = [absorption_thorp(f) for f in freqs]
+        assert alphas == sorted(alphas)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            absorption_thorp(0.0)
+
+    @given(st.floats(min_value=100.0, max_value=1e6))
+    def test_always_positive(self, f):
+        assert absorption_thorp(f) > 0.0
+
+
+class TestFrancoisGarrison:
+    def test_fresh_water_absorbs_less_than_sea(self):
+        river = WaterProperties.river()
+        ocean = WaterProperties.ocean()
+        f = 18_500.0
+        assert absorption_francois_garrison(f, river) < absorption_francois_garrison(
+            f, ocean
+        )
+
+    def test_fresh_water_order_of_magnitude(self):
+        # At ~18.5 kHz fresh water sits far below sea water (no ionic
+        # relaxation): expect < 0.3 of the sea-water value.
+        f = 18_500.0
+        fresh = absorption_francois_garrison(f, WaterProperties.river())
+        salt = absorption_francois_garrison(f, WaterProperties.ocean())
+        assert fresh < 0.3 * salt
+
+    def test_tracks_thorp_in_sea_water(self):
+        # FG and Thorp should agree within a factor ~2 in Thorp's regime.
+        water = WaterProperties(temperature_c=10.0, salinity_ppt=35.0, ph=8.0)
+        for f in (5e3, 10e3, 20e3, 50e3):
+            fg = absorption_francois_garrison(f, water)
+            th = absorption_thorp(f)
+            assert fg == pytest.approx(th, rel=1.0)
+
+    def test_monotonic_in_frequency(self):
+        water = WaterProperties.ocean()
+        freqs = [5e3, 10e3, 20e3, 40e3, 80e3]
+        alphas = [absorption_francois_garrison(f, water) for f in freqs]
+        assert alphas == sorted(alphas)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            absorption_francois_garrison(-1.0, WaterProperties.ocean())
+
+    @given(
+        st.floats(min_value=1e3, max_value=1e5),
+        st.floats(min_value=2.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=40.0),
+    )
+    def test_positive_for_all_waters(self, f, temp, sal):
+        water = WaterProperties(temperature_c=temp, salinity_ppt=sal)
+        assert absorption_francois_garrison(f, water) > 0.0
+
+
+class TestDispatch:
+    def test_defaults_to_thorp(self):
+        assert absorption_db_per_km(20e3) == absorption_thorp(20e3)
+
+    def test_uses_fg_with_water(self):
+        water = WaterProperties.river()
+        assert absorption_db_per_km(20e3, water) == absorption_francois_garrison(
+            20e3, water
+        )

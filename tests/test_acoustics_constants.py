@@ -1,0 +1,71 @@
+"""Tests for water properties and the Mackenzie sound-speed model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics.constants import WaterProperties, sound_speed_mackenzie
+
+
+class TestMackenzie:
+    def test_reference_point(self):
+        # Mackenzie's published check value: T=25C, S=35, D=1000m -> 1550.744 m/s.
+        assert sound_speed_mackenzie(25.0, 35.0, 1000.0) == pytest.approx(
+            1550.744, abs=0.5
+        )
+
+    def test_fresh_surface_water(self):
+        # Fresh water at 20C is ~1482 m/s (textbook).
+        assert sound_speed_mackenzie(20.0, 0.0, 0.0) == pytest.approx(1447, abs=40)
+
+    def test_increases_with_temperature(self):
+        speeds = [sound_speed_mackenzie(t, 35.0, 10.0) for t in (5, 10, 15, 20, 25)]
+        assert speeds == sorted(speeds)
+
+    def test_increases_with_salinity(self):
+        speeds = [sound_speed_mackenzie(15.0, s, 10.0) for s in (0, 10, 20, 30, 35)]
+        assert speeds == sorted(speeds)
+
+    def test_increases_with_depth(self):
+        speeds = [sound_speed_mackenzie(15.0, 35.0, d) for d in (0, 100, 500, 1000)]
+        assert speeds == sorted(speeds)
+
+    @given(
+        st.floats(min_value=2.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_plausible_range(self, t, s, d):
+        c = sound_speed_mackenzie(t, s, d)
+        assert 1400.0 < c < 1600.0
+
+
+class TestWaterProperties:
+    def test_river_preset_is_fresh(self):
+        river = WaterProperties.river()
+        assert river.salinity_ppt < 1.0
+        assert river.density_kg_m3 == pytest.approx(1000.0)
+
+    def test_ocean_preset_is_salty(self):
+        ocean = WaterProperties.ocean()
+        assert ocean.salinity_ppt > 30.0
+        assert ocean.density_kg_m3 > 1020.0
+
+    def test_sound_speed_property_delegates(self):
+        w = WaterProperties(temperature_c=10.0, salinity_ppt=35.0, depth_m=50.0)
+        assert w.sound_speed == pytest.approx(
+            sound_speed_mackenzie(10.0, 35.0, 50.0)
+        )
+
+    def test_wavelength_at_vab_carrier(self):
+        w = WaterProperties.ocean()
+        lam = w.wavelength(18_500.0)
+        assert lam == pytest.approx(0.08, abs=0.01)
+
+    def test_wavelength_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            WaterProperties.ocean().wavelength(0.0)
+
+    def test_frozen(self):
+        w = WaterProperties.river()
+        with pytest.raises(AttributeError):
+            w.temperature_c = 99.0

@@ -1,0 +1,141 @@
+"""Tests for image-method multipath tracing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acoustics.constants import WaterProperties
+from repro.acoustics.propagation import (
+    bottom_reflection_coefficient,
+    trace_paths,
+)
+from repro.acoustics.surface import SeaSurface
+from repro.geometry.vec3 import Vec3
+
+F = 18_500.0
+
+
+def river():
+    return WaterProperties.river(depth_m=4.0)
+
+
+class TestTracePaths:
+    def test_direct_path_first_and_bounce_free(self):
+        paths = trace_paths(Vec3(0, 0, 2), Vec3(100, 0, 2), F, river())
+        assert paths[0].is_direct
+        assert paths[0].surface_bounces == 0
+        assert paths[0].bottom_bounces == 0
+
+    def test_direct_path_length(self):
+        paths = trace_paths(Vec3(0, 0, 2), Vec3(30, 0, 2), F, river())
+        assert paths[0].length_m == pytest.approx(30.0)
+
+    def test_delays_sorted(self):
+        paths = trace_paths(Vec3(0, 0, 1), Vec3(50, 0, 3), F, river())
+        delays = [p.delay_s for p in paths]
+        assert delays == sorted(delays)
+
+    def test_bounce_budget_respected(self):
+        paths = trace_paths(
+            Vec3(0, 0, 2), Vec3(50, 0, 2), F, river(), max_bounces=2
+        )
+        assert all(p.surface_bounces + p.bottom_bounces <= 2 for p in paths)
+
+    def test_zero_bounces_gives_single_path(self):
+        paths = trace_paths(
+            Vec3(0, 0, 2), Vec3(50, 0, 2), F, river(), max_bounces=0
+        )
+        assert len(paths) == 1
+        assert paths[0].is_direct
+
+    def test_more_bounces_give_more_paths(self):
+        a, b = Vec3(0, 0, 2), Vec3(50, 0, 2)
+        n0 = len(trace_paths(a, b, F, river(), max_bounces=0))
+        n1 = len(trace_paths(a, b, F, river(), max_bounces=1))
+        n2 = len(trace_paths(a, b, F, river(), max_bounces=2))
+        assert n0 < n1 <= n2
+
+    def test_single_surface_bounce_geometry(self):
+        # Surface bounce length equals distance to the mirrored receiver.
+        src, rx = Vec3(0, 0, 2), Vec3(40, 0, 3)
+        paths = trace_paths(src, rx, F, river(), max_bounces=1)
+        surf = [p for p in paths if p.surface_bounces == 1 and p.bottom_bounces == 0]
+        assert len(surf) == 1
+        expected = src.distance_to(rx.mirrored_surface())
+        assert surf[0].length_m == pytest.approx(expected)
+
+    def test_bounced_paths_longer_than_direct(self):
+        paths = trace_paths(Vec3(0, 0, 2), Vec3(50, 0, 2), F, river())
+        direct = paths[0].length_m
+        assert all(p.length_m >= direct for p in paths)
+
+    def test_bounced_paths_weaker_than_direct(self):
+        paths = trace_paths(Vec3(0, 0, 2), Vec3(50, 0, 2), F, river())
+        direct_gain = abs(paths[0].gain)
+        assert all(abs(p.gain) <= direct_gain * 1.001 for p in paths)
+
+    def test_out_of_column_rejected(self):
+        with pytest.raises(ValueError):
+            trace_paths(Vec3(0, 0, -1), Vec3(50, 0, 2), F, river())
+        with pytest.raises(ValueError):
+            trace_paths(Vec3(0, 0, 2), Vec3(50, 0, 10), F, river())
+
+    def test_delay_consistent_with_sound_speed(self):
+        w = river()
+        paths = trace_paths(Vec3(0, 0, 2), Vec3(75, 0, 2), F, w)
+        for p in paths:
+            assert p.delay_s == pytest.approx(p.length_m / w.sound_speed)
+
+    @given(
+        st.floats(min_value=5.0, max_value=400.0),
+        st.floats(min_value=0.5, max_value=3.5),
+        st.floats(min_value=0.5, max_value=3.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reciprocity(self, x, z1, z2):
+        """Swapping source and receiver preserves path gains (reciprocity)."""
+        w = river()
+        fwd = trace_paths(Vec3(0, 0, z1), Vec3(x, 0, z2), F, w)
+        rev = trace_paths(Vec3(x, 0, z2), Vec3(0, 0, z1), F, w)
+        assert len(fwd) == len(rev)
+        for pf, pr in zip(fwd, rev):
+            assert abs(pf.gain) == pytest.approx(abs(pr.gain), rel=1e-9)
+            assert pf.length_m == pytest.approx(pr.length_m, rel=1e-9)
+
+
+class TestBottomReflection:
+    def test_magnitude_bounded(self):
+        w = WaterProperties.ocean()
+        for grazing_deg in (1, 5, 15, 30, 60, 89):
+            r = bottom_reflection_coefficient(math.radians(grazing_deg), w)
+            assert abs(r) <= 1.0
+
+    def test_total_internal_reflection_at_low_grazing(self):
+        # Sand (c2 > c1): below the critical angle |R| is near the
+        # per-bounce loss limit.
+        w = WaterProperties.ocean()
+        r = bottom_reflection_coefficient(
+            math.radians(2.0), w, bottom_loss_db_per_bounce=0.0
+        )
+        assert abs(r) == pytest.approx(1.0, abs=0.01)
+
+    def test_mud_reflects_weakly(self):
+        w = WaterProperties.river()
+        sand = bottom_reflection_coefficient(
+            math.radians(30.0), w, 1800.0, 1700.0, 0.0
+        )
+        mud = bottom_reflection_coefficient(
+            math.radians(30.0), w, 1400.0, 1480.0, 0.0
+        )
+        assert abs(mud) < abs(sand)
+
+    def test_extra_loss_applied(self):
+        w = WaterProperties.ocean()
+        lossless = bottom_reflection_coefficient(
+            math.radians(10.0), w, bottom_loss_db_per_bounce=0.0
+        )
+        lossy = bottom_reflection_coefficient(
+            math.radians(10.0), w, bottom_loss_db_per_bounce=6.0
+        )
+        assert abs(lossy) == pytest.approx(abs(lossless) * 10 ** (-6 / 20), rel=1e-9)

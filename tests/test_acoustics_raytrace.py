@@ -1,0 +1,153 @@
+"""Tests for sound-speed profiles and ray tracing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.acoustics.raytrace import (
+    RayPath,
+    find_eigenray,
+    in_shadow_zone,
+    trace_ray,
+)
+from repro.acoustics.ssp import SoundSpeedProfile
+
+
+class TestSSP:
+    def test_isothermal_flat(self):
+        ssp = SoundSpeedProfile.isothermal(1480.0)
+        assert ssp.speed_at(0.0) == 1480.0
+        assert ssp.speed_at(50.0) == 1480.0
+        assert ssp.gradient_at(25.0) == 0.0
+
+    def test_linear_gradient(self):
+        ssp = SoundSpeedProfile.linear(1480.0, 0.1, max_depth_m=100.0)
+        assert ssp.speed_at(50.0) == pytest.approx(1485.0)
+        assert ssp.gradient_at(50.0) == pytest.approx(0.1)
+
+    def test_clamping_beyond_knots(self):
+        ssp = SoundSpeedProfile.linear(1480.0, 0.1, max_depth_m=100.0)
+        assert ssp.speed_at(200.0) == pytest.approx(1490.0)
+        assert ssp.gradient_at(200.0) == 0.0
+
+    def test_summer_thermocline_shape(self):
+        ssp = SoundSpeedProfile.summer_thermocline()
+        # Warm surface is faster than cold deep water.
+        assert ssp.speed_at(2.0) > ssp.speed_at(40.0)
+        # The sharpest (negative) gradient sits inside the thermocline.
+        grad_inside = ssp.gradient_at(14.0)
+        grad_mixed = ssp.gradient_at(4.0)
+        assert grad_inside < grad_mixed
+        assert grad_inside < -0.5
+
+    def test_minimum_speed_depth(self):
+        ssp = SoundSpeedProfile.summer_thermocline(max_depth_m=60.0)
+        # Downward-refracting profile: minimum at depth.
+        assert ssp.minimum_speed_depth() > 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoundSpeedProfile(np.array([0.0, 1.0]), np.array([1500.0]))
+        with pytest.raises(ValueError):
+            SoundSpeedProfile(np.array([5.0, 1.0]), np.array([1500.0, 1500.0]))
+        with pytest.raises(ValueError):
+            SoundSpeedProfile(np.array([0.0, 1.0]), np.array([1500.0, -1.0]))
+        with pytest.raises(ValueError):
+            SoundSpeedProfile.summer_thermocline(thermocline_top_m=30.0,
+                                                 thermocline_bottom_m=20.0)
+
+
+class TestTraceRay:
+    def test_straight_in_isothermal(self):
+        ssp = SoundSpeedProfile.isothermal(1480.0, max_depth_m=200.0)
+        ray = trace_ray(ssp, 50.0, 0.0, 500.0, bottom_depth_m=200.0)
+        np.testing.assert_allclose(ray.z_m, 50.0, atol=1e-6)
+        assert ray.surface_hits == 0 and ray.bottom_hits == 0
+
+    def test_descending_launch_descends(self):
+        ssp = SoundSpeedProfile.isothermal(1480.0, max_depth_m=500.0)
+        ray = trace_ray(ssp, 10.0, 5.0, 300.0, bottom_depth_m=500.0)
+        assert ray.z_m[-1] > 10.0
+
+    def test_travel_time_matches_isothermal(self):
+        ssp = SoundSpeedProfile.isothermal(1500.0, max_depth_m=100.0)
+        ray = trace_ray(ssp, 50.0, 0.0, 1500.0, bottom_depth_m=100.0)
+        assert ray.travel_time_s == pytest.approx(1.0, rel=0.01)
+
+    def test_surface_reflection(self):
+        ssp = SoundSpeedProfile.isothermal(1480.0, max_depth_m=100.0)
+        ray = trace_ray(ssp, 5.0, -10.0, 300.0, bottom_depth_m=100.0)
+        assert ray.surface_hits >= 1
+        assert np.all(ray.z_m >= -1e-9)
+
+    def test_bottom_reflection(self):
+        ssp = SoundSpeedProfile.isothermal(1480.0, max_depth_m=30.0)
+        ray = trace_ray(ssp, 25.0, 10.0, 300.0, bottom_depth_m=30.0)
+        assert ray.bottom_hits >= 1
+        assert np.all(ray.z_m <= 30.0 + 1e-9)
+
+    def test_snell_invariant_in_gradient(self):
+        """cos(theta)/c must be conserved along a refracting ray."""
+        ssp = SoundSpeedProfile.linear(1480.0, 0.5, max_depth_m=200.0)
+        ray = trace_ray(ssp, 100.0, 8.0, 400.0, bottom_depth_m=200.0,
+                        step_m=0.25)
+        # Reconstruct angles from consecutive points.
+        dx = np.diff(ray.x_m)
+        dz = np.diff(ray.z_m)
+        theta = np.arctan2(dz, dx)
+        c = np.array([ssp.speed_at(z) for z in ray.z_m[:-1]])
+        invariant = np.cos(theta) / c
+        assert np.std(invariant) / np.mean(invariant) < 1e-3
+
+    def test_downward_refraction_bends_down(self):
+        """Negative gradient (summer): a horizontal ray curves downward."""
+        ssp = SoundSpeedProfile.summer_thermocline()
+        ray = trace_ray(ssp, 10.0, 0.0, 400.0, bottom_depth_m=60.0)
+        assert ray.depth_at(300.0) > 12.0
+
+    def test_validation(self):
+        ssp = SoundSpeedProfile.isothermal()
+        with pytest.raises(ValueError):
+            trace_ray(ssp, 10.0, 95.0, 100.0)
+        with pytest.raises(ValueError):
+            trace_ray(ssp, -5.0, 0.0, 100.0)
+        with pytest.raises(ValueError):
+            trace_ray(ssp, 10.0, 0.0, 100.0, step_m=0.0)
+
+    def test_depth_at_outside_returns_none(self):
+        ssp = SoundSpeedProfile.isothermal()
+        ray = trace_ray(ssp, 10.0, 0.0, 100.0)
+        assert ray.depth_at(1e9) is None
+
+
+class TestEigenraysAndShadow:
+    def test_isothermal_always_connects(self):
+        ssp = SoundSpeedProfile.isothermal(1480.0, max_depth_m=100.0)
+        ray = find_eigenray(ssp, 10.0, 40.0, 300.0, bottom_depth_m=100.0)
+        assert ray is not None
+        assert ray.depth_at(300.0) == pytest.approx(40.0, abs=2.0)
+
+    def test_same_depth_connects_trivially(self):
+        ssp = SoundSpeedProfile.isothermal(1480.0, max_depth_m=100.0)
+        assert not in_shadow_zone(ssp, 20.0, 20.0, 400.0, bottom_depth_m=100.0)
+
+    def test_thermocline_creates_shadow_at_range(self):
+        """The deployment lesson: under a summer thermocline, downward
+        refraction drives both the direct and the surface-reflected rays
+        into the bottom, opening a shadow zone beyond ~1.4 km that no
+        node depth escapes — while the same geometry is fully reachable
+        in well-mixed winter water."""
+        summer = SoundSpeedProfile.summer_thermocline(max_depth_m=200.0)
+        winter = SoundSpeedProfile.isothermal(1480.0, max_depth_m=200.0)
+        # Close in: everyone reachable in both seasons.
+        for depth in (6.0, 60.0, 150.0):
+            assert not in_shadow_zone(summer, 3.0, depth, 400.0,
+                                      bottom_depth_m=200.0)
+        # Far out in summer: dark at every node depth.
+        for depth in (6.0, 60.0, 150.0):
+            assert in_shadow_zone(summer, 3.0, depth, 1600.0,
+                                  bottom_depth_m=200.0)
+            # The identical geometry is reachable in winter.
+            assert not in_shadow_zone(winter, 3.0, depth, 1600.0,
+                                      bottom_depth_m=200.0)

@@ -1,0 +1,130 @@
+"""Tests for spreading loss and Wenz ambient noise."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.acoustics.constants import WaterProperties
+from repro.acoustics.noise import (
+    NoiseConditions,
+    noise_level_db,
+    total_noise_psd_db,
+    wenz_shipping_psd_db,
+    wenz_thermal_psd_db,
+    wenz_turbulence_psd_db,
+    wenz_wind_psd_db,
+)
+from repro.acoustics.spreading import (
+    CYLINDRICAL_EXPONENT,
+    SPHERICAL_EXPONENT,
+    amplitude_gain,
+    spreading_loss_db,
+    transmission_loss_db,
+)
+
+
+class TestSpreading:
+    def test_spherical_20db_per_decade(self):
+        assert spreading_loss_db(10.0, SPHERICAL_EXPONENT) == pytest.approx(20.0)
+        assert spreading_loss_db(100.0, SPHERICAL_EXPONENT) == pytest.approx(40.0)
+
+    def test_cylindrical_half_of_spherical(self):
+        d = 250.0
+        assert spreading_loss_db(d, CYLINDRICAL_EXPONENT) == pytest.approx(
+            spreading_loss_db(d, SPHERICAL_EXPONENT) / 2.0
+        )
+
+    def test_zero_at_reference(self):
+        assert spreading_loss_db(1.0) == 0.0
+
+    def test_inside_reference_rejected(self):
+        with pytest.raises(ValueError):
+            spreading_loss_db(0.5)
+
+    def test_tl_includes_absorption(self):
+        f = 18_500.0
+        water = WaterProperties.ocean()
+        tl_short = transmission_loss_db(100.0, f, water)
+        tl_long = transmission_loss_db(1000.0, f, water)
+        spreading_only = spreading_loss_db(1000.0) - spreading_loss_db(100.0)
+        # The 900 m delta must exceed pure spreading (absorption adds).
+        assert tl_long - tl_short > spreading_only
+
+    def test_amplitude_gain_inverts_tl(self):
+        g = amplitude_gain(100.0, 18_500.0)
+        tl = transmission_loss_db(100.0, 18_500.0)
+        assert -20.0 * math.log10(g) == pytest.approx(tl)
+
+    @given(st.floats(min_value=1.0, max_value=10_000.0))
+    def test_tl_monotonic(self, d):
+        f = 18_500.0
+        assert transmission_loss_db(d + 1.0, f) > transmission_loss_db(d, f)
+
+
+class TestWenz:
+    def test_wind_increases_noise(self):
+        f = 18_500.0
+        quiet = wenz_wind_psd_db(f, 1.0)
+        windy = wenz_wind_psd_db(f, 12.0)
+        assert windy > quiet + 5.0
+
+    def test_shipping_bounded_factor(self):
+        with pytest.raises(ValueError):
+            wenz_shipping_psd_db(1000.0, 1.5)
+
+    def test_thermal_rises_with_frequency(self):
+        assert wenz_thermal_psd_db(100e3) > wenz_thermal_psd_db(10e3)
+
+    def test_turbulence_falls_with_frequency(self):
+        assert wenz_turbulence_psd_db(100.0) > wenz_turbulence_psd_db(1000.0)
+
+    def test_total_dominated_by_wind_at_vab_band(self):
+        cond = NoiseConditions(wind_speed_mps=8.0, shipping=0.5)
+        f = 18_500.0
+        total = total_noise_psd_db(f, cond)
+        wind = wenz_wind_psd_db(f, 8.0)
+        assert total == pytest.approx(wind, abs=3.0)
+
+    def test_total_exceeds_every_component(self):
+        cond = NoiseConditions(wind_speed_mps=5.0, shipping=0.5)
+        f = 18_500.0
+        total = total_noise_psd_db(f, cond)
+        assert total >= wenz_wind_psd_db(f, 5.0)
+        assert total >= wenz_shipping_psd_db(f, 0.5)
+        assert total >= wenz_thermal_psd_db(f)
+
+    def test_sea_state_presets_ordered(self):
+        f = 18_500.0
+        levels = [
+            total_noise_psd_db(f, NoiseConditions.coastal_ocean(s)) for s in range(7)
+        ]
+        assert levels == sorted(levels)
+
+    def test_sea_state_bounds(self):
+        with pytest.raises(ValueError):
+            NoiseConditions.coastal_ocean(7)
+
+
+class TestNoiseLevel:
+    def test_wider_band_collects_more_noise(self):
+        cond = NoiseConditions.quiet_river()
+        narrow = noise_level_db(18_500.0, 500.0, cond)
+        wide = noise_level_db(18_500.0, 4000.0, cond)
+        assert wide > narrow
+
+    def test_doubling_band_adds_about_3db(self):
+        cond = NoiseConditions.coastal_ocean(3)
+        n1 = noise_level_db(18_500.0, 1000.0, cond)
+        n2 = noise_level_db(18_500.0, 2000.0, cond)
+        assert n2 - n1 == pytest.approx(3.0, abs=0.5)
+
+    def test_level_exceeds_psd(self):
+        cond = NoiseConditions.quiet_river()
+        psd = total_noise_psd_db(18_500.0, cond)
+        level = noise_level_db(18_500.0, 2000.0, cond)
+        assert level == pytest.approx(psd + 33.0, abs=1.5)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            noise_level_db(18_500.0, 0.0, NoiseConditions.quiet_river())

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["budget"])
+        assert args.site == "river"
+        assert args.range == 100.0
+        assert args.elements == 4
+
+
+class TestBudget:
+    def test_river(self, capsys):
+        assert main(["budget", "--site", "river", "--range", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "max range @1e-3" in out
+        assert "SNR" in out
+
+    def test_ocean_with_sea_state(self, capsys):
+        assert main(["budget", "--site", "ocean", "--sea-state", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ocean-ss4" in out
+
+    def test_elements_change_gain(self, capsys):
+        main(["budget", "--elements", "8"])
+        out8 = capsys.readouterr().out
+        main(["budget", "--elements", "2"])
+        out2 = capsys.readouterr().out
+        assert out8 != out2
+
+
+class TestSweep:
+    def test_small_sweep(self, capsys):
+        code = main([
+            "sweep", "--start", "40", "--stop", "120",
+            "--points", "2", "--trials", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max range at BER<=1e-3" in out
+        assert out.count("\n") >= 4
+
+
+class TestPattern:
+    def test_table_shape(self, capsys):
+        assert main(["pattern", "--elements", "4", "--step", "30"]) == 0
+        out = capsys.readouterr().out
+        # -60, -30, 0, 30, 60 plus header.
+        assert len(out.strip().splitlines()) == 6
+        assert "van_atta_db" in out
+
+
+class TestTrial:
+    def test_short_range_succeeds(self, capsys):
+        assert main(["trial", "--range", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "frame ok    : True" in out
+
+    def test_absurd_range_fails(self, capsys):
+        assert main(["trial", "--range", "5000"]) == 1
+
+
+class TestInventory:
+    def test_clean_inventory(self, capsys):
+        assert main(["inventory", "--nodes", "5", "--q", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "inventoried : 5/5" in out
+
+    def test_lossy_inventory_still_completes(self, capsys):
+        code = main([
+            "inventory", "--nodes", "4", "--q", "2",
+            "--downlink-loss", "0.1", "--uplink-loss", "0.1",
+        ])
+        assert code == 0
+
+
+class TestAdapt:
+    def test_picks_fast_close(self, capsys):
+        assert main(["adapt", "--range", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "selected: fast" in out
+
+    def test_picks_coded_far(self, capsys):
+        assert main(["adapt", "--range", "420"]) == 0
+        out = capsys.readouterr().out
+        assert "selected: slow" in out
+
+    def test_out_of_range_exits_nonzero(self, capsys):
+        assert main(["adapt", "--range", "2000"]) == 1

@@ -1,0 +1,84 @@
+"""Tests for the public facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LinkBudget,
+    LinkReport,
+    Reader,
+    Scenario,
+    VanAttaNode,
+    default_vab_budget,
+    simulate_link,
+)
+from repro.phy.frame import build_frame
+from repro.vanatta.switching import chips_to_waveform
+
+
+class TestReader:
+    def test_chains_share_scenario_rates(self):
+        sc = Scenario.river()
+        reader = Reader(scenario=sc)
+        assert reader.tx.fs == sc.fs
+        assert reader.rx.fs == sc.fs
+        assert reader.tx.carrier_hz == sc.carrier_hz
+
+    def test_loopback_through_reader(self):
+        reader = Reader()
+        node = VanAttaNode()
+        chips = np.concatenate(
+            [np.zeros(20, np.int64), build_frame(3, b"ping"), np.zeros(5, np.int64)]
+        )
+        mod = chips_to_waveform(chips, reader.scenario.samples_per_chip, node.switch)
+        record = 50.0 + mod.astype(complex)  # leak + reflection
+        result = reader.demodulate(record)
+        assert result.success
+        assert result.frame.payload == b"ping"
+
+    def test_carrier(self):
+        reader = Reader()
+        assert len(reader.carrier(0.1)) == int(0.1 * reader.scenario.fs)
+
+
+class TestSimulateLink:
+    def test_analytic_only(self):
+        report = simulate_link(Scenario.river(range_m=100.0), trials=0)
+        assert report.point is None
+        assert report.ber == report.predicted_ber
+        assert report.frame_success_rate == 0.0
+
+    def test_with_trials(self):
+        report = simulate_link(Scenario.river(range_m=60.0), trials=3, seed=1)
+        assert report.point is not None
+        assert report.frame_success_rate == 1.0
+        assert report.ber == 0.0
+
+    def test_prediction_fields_populated(self):
+        report = simulate_link(Scenario.river(range_m=150.0), trials=0)
+        assert report.predicted_snr_db > 0.0
+        assert 0.0 <= report.predicted_ber <= 0.5
+        assert report.range_m == pytest.approx(150.0)
+
+    def test_custom_node_used(self):
+        node = VanAttaNode(node_id=9)
+        report = simulate_link(Scenario.river(range_m=40.0), node=node, trials=2)
+        assert report.frame_success_rate == 1.0
+
+
+class TestDefaultBudget:
+    def test_uses_scenario_incidence(self):
+        straight = default_vab_budget(Scenario.river())
+        rotated = default_vab_budget(Scenario.river().with_node_rotation(50.0))
+        assert rotated.array_gain_db < straight.array_gain_db
+
+    def test_explicit_theta_override(self):
+        b0 = default_vab_budget(Scenario.river(), theta_deg=0.0)
+        b50 = default_vab_budget(Scenario.river(), theta_deg=50.0)
+        assert b50.array_gain_db < b0.array_gain_db
+
+    def test_is_linkbudget(self):
+        assert isinstance(default_vab_budget(Scenario.river()), LinkBudget)
+
+    def test_report_type(self):
+        assert isinstance(simulate_link(Scenario.river(), trials=0), LinkReport)

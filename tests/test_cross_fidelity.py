@@ -1,0 +1,101 @@
+"""Cross-fidelity consistency: budget vs waveform, and clock tolerance.
+
+The analytic budget and the waveform simulator are two models of the same
+link; these tests pin them to each other across operating points, and
+document the receiver's tolerance to node-clock error (a battery-free
+node's RC oscillator is nowhere near crystal-accurate).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Scenario, default_vab_budget
+from repro.dsp.timing import resample_linear
+from repro.phy.receiver import ReaderReceiver
+from repro.sim.engine import simulate_trial
+
+from tests.test_phy_receiver import CHIP_RATE, FS, loopback_record
+
+
+class TestBudgetVsWaveform:
+    @given(st.floats(min_value=20.0, max_value=220.0))
+    @settings(max_examples=10, deadline=None)
+    def test_high_margin_ranges_always_deliver(self, range_m):
+        """Anywhere the budget says >=10 dB of margin, the waveform chain
+        must deliver the frame — the two fidelities may not contradict
+        each other in the easy regime."""
+        scenario = Scenario.river(range_m=range_m)
+        budget = default_vab_budget(scenario)
+        if budget.margin_db(range_m) < 10.0:
+            return  # outside the easy regime this property promises
+        result = simulate_trial(scenario, rng=np.random.default_rng(99))
+        assert result.success, f"waveform failed at {range_m:.0f} m despite margin"
+
+    def test_deep_negative_margin_never_delivers(self):
+        scenario = Scenario.river(range_m=900.0)
+        budget = default_vab_budget(scenario)
+        assert budget.margin_db(900.0) < -10.0
+        result = simulate_trial(scenario, rng=np.random.default_rng(7))
+        assert not result.frame_ok
+
+    def test_waterfall_locations_agree_within_a_third(self):
+        """The waveform BER cliff and the budget max range agree within
+        ~30% — the calibration contract between the fidelities."""
+        budget_range = default_vab_budget(Scenario.river()).max_range_m(1e-3)
+        # Probe the waveform cliff coarsely.
+        last_good = 0.0
+        for r in (250.0, 300.0, 350.0, 400.0, 450.0, 500.0):
+            oks = sum(
+                simulate_trial(
+                    Scenario.river(range_m=r), rng=np.random.default_rng(s)
+                ).frame_ok
+                for s in range(4)
+            )
+            if oks >= 3:
+                last_good = r
+        assert last_good == pytest.approx(budget_range, rel=0.35)
+
+
+class TestNodeClockDrift:
+    """The node clocks its chips from an on-die oscillator; ppm-level
+    error stretches the whole frame relative to the reader's timebase."""
+
+    def drifted_record(self, ppm, payload=b"clock drift test", seed=11):
+        record = loopback_record(payload=payload, carrier_leak=0.0,
+                                 noise_power=0.002, seed=seed)
+        stretched = resample_linear(record, 1.0 + ppm * 1e-6)
+        return stretched + 10.0  # leak after the (node-side) stretch
+
+    def test_small_drift_tolerated(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        for ppm in (-300.0, -100.0, 100.0, 300.0):
+            result = rx.demodulate(self.drifted_record(ppm))
+            assert result.success, f"failed at {ppm} ppm"
+
+    def test_large_drift_fails_without_help(self):
+        """~1 chip of accumulated slip over the frame kills the slicer:
+        the documented tolerance boundary (~0.3% for this frame length).
+        RC oscillators need better than this or shorter frames."""
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        result = rx.demodulate(self.drifted_record(4_000.0))
+        assert not result.success
+
+    def test_timing_search_buys_margin(self):
+        """The +-N-sample timing search recovers part of the drift range
+        by re-centring the slicer where the slip hurts most."""
+        plain = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        searching = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE, timing_search=4)
+        ppm = self.find_first_failure(plain)
+        result = searching.demodulate(self.drifted_record(ppm))
+        assert result.success or ppm > 3_000.0
+
+    @staticmethod
+    def find_first_failure(rx, start=500.0, step=250.0, stop=4_000.0):
+        ppm = start
+        while ppm <= stop:
+            record = TestNodeClockDrift().drifted_record(ppm)
+            if not rx.demodulate(record).success:
+                return ppm
+            ppm += step
+        return stop

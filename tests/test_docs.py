@@ -1,0 +1,47 @@
+"""Documentation integrity: files exist, the API index regenerates."""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDocFiles:
+    def test_required_documents_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/API.md"):
+            path = ROOT / name
+            assert path.exists(), f"missing {name}"
+            assert len(path.read_text()) > 500
+
+    def test_design_lists_every_bench(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("bench_e*.py")):
+            assert bench.name in design, f"{bench.name} missing from DESIGN.md"
+
+    def test_experiments_covers_every_bench(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("bench_e*.py")):
+            assert bench.name in experiments, f"{bench.name} missing from EXPERIMENTS.md"
+
+
+class TestApiIndex:
+    def load_generator(self):
+        spec = importlib.util.spec_from_file_location(
+            "gen_api_docs", ROOT / "tools" / "gen_api_docs.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_builds_and_mentions_core_symbols(self):
+        gen = self.load_generator()
+        text = gen.build()
+        for symbol in ("VanAttaArray", "simulate_link", "LinkBudget",
+                       "ReaderReceiver", "SlottedAlohaInventory"):
+            assert symbol in text, f"{symbol} missing from API index"
+
+    def test_committed_index_is_current(self):
+        gen = self.load_generator()
+        assert (ROOT / "docs" / "API.md").read_text() == gen.build()

@@ -1,0 +1,116 @@
+"""Tests for correlation, matched filtering, and envelope detection."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.correlate import (
+    correlate_full,
+    matched_filter,
+    normalized_correlation,
+    peak_to_sidelobe,
+)
+from repro.dsp.envelope import envelope_detect, rectify_smooth
+
+
+class TestCorrelate:
+    def test_peak_at_template_position(self):
+        rng = np.random.default_rng(3)
+        template = rng.standard_normal(32)
+        signal = np.concatenate([np.zeros(40), template, np.zeros(40)])
+        corr = correlate_full(signal, template)
+        assert int(np.argmax(np.abs(corr))) == 40
+
+    def test_short_signal_gives_empty(self):
+        assert len(correlate_full(np.zeros(4), np.ones(10))) == 0
+
+    def test_normalized_peak_is_one_for_exact_match(self):
+        rng = np.random.default_rng(4)
+        template = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        signal = np.concatenate([np.zeros(16, complex), template, np.zeros(16, complex)])
+        corr = normalized_correlation(signal, template)
+        assert corr.max() == pytest.approx(1.0, abs=1e-9)
+        assert int(np.argmax(corr)) == 16
+
+    def test_normalized_invariant_to_scale(self):
+        rng = np.random.default_rng(5)
+        template = rng.standard_normal(64)
+        signal = np.concatenate([0.01 * rng.standard_normal(50), 7.0 * template])
+        corr_big = normalized_correlation(signal, template)
+        corr_small = normalized_correlation(signal * 1e-4, template)
+        np.testing.assert_allclose(corr_big, corr_small, rtol=1e-6)
+
+    def test_normalized_bounded(self):
+        rng = np.random.default_rng(6)
+        template = rng.standard_normal(32)
+        signal = rng.standard_normal(500)
+        corr = normalized_correlation(signal, template)
+        assert np.all(corr <= 1.0 + 1e-9)
+        assert np.all(corr >= 0.0)
+
+    def test_zero_energy_template_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_correlation(np.ones(100), np.zeros(10))
+
+    def test_matched_filter_is_correlation(self):
+        rng = np.random.default_rng(7)
+        pulse = rng.standard_normal(16)
+        signal = rng.standard_normal(100)
+        np.testing.assert_allclose(
+            matched_filter(signal, pulse), correlate_full(signal, pulse)
+        )
+
+    def test_matched_filter_maximizes_snr_at_pulse(self):
+        rng = np.random.default_rng(8)
+        pulse = rng.standard_normal(64)
+        signal = np.concatenate([np.zeros(100), pulse, np.zeros(100)])
+        signal = signal + 0.1 * rng.standard_normal(len(signal))
+        out = matched_filter(signal, pulse)
+        assert int(np.argmax(np.abs(out))) == 100
+
+
+class TestPeakToSidelobe:
+    def test_clean_peak(self):
+        corr = np.zeros(100)
+        corr[50] = 10.0
+        corr[10] = 1.0
+        assert peak_to_sidelobe(corr) == pytest.approx(10.0)
+
+    def test_guard_excluded(self):
+        corr = np.zeros(100)
+        corr[50] = 10.0
+        corr[51] = 9.0  # inside guard
+        corr[10] = 2.0
+        assert peak_to_sidelobe(corr, guard=2) == pytest.approx(5.0)
+
+    def test_all_zero_sidelobes(self):
+        corr = np.zeros(10)
+        corr[5] = 1.0
+        assert peak_to_sidelobe(corr) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            peak_to_sidelobe(np.zeros(0))
+
+
+class TestEnvelope:
+    def test_envelope_of_rotating_phasor_is_flat(self):
+        t = np.arange(1000)
+        x = 2.5 * np.exp(2j * np.pi * 0.01 * t)
+        env = envelope_detect(x)
+        assert np.allclose(env, 2.5)
+
+    def test_rectify_smooth_tracks_ook(self):
+        fs = 8000.0
+        sps = 80
+        chips = np.repeat([1.0, 0.0, 1.0, 1.0, 0.0, 1.0], sps)
+        x = chips * np.exp(2j * np.pi * 100.0 * np.arange(len(chips)) / fs)
+        env = rectify_smooth(x, fs, cutoff_hz=400.0)
+        mid = sps // 2
+        highs = env[mid::sps][np.array([0, 2, 3, 5])]
+        lows = env[mid::sps][np.array([1, 4])]
+        assert highs.min() > 0.7
+        assert lows.max() < 0.3
+
+    def test_rectify_smooth_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            rectify_smooth(np.ones(10), 8000.0, 4000.0)

@@ -1,0 +1,98 @@
+"""Tests for the AGC/ADC front-end model and receiver robustness to it."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.frontend import FrontEnd, clip_level_exceedance
+from repro.phy.receiver import ReaderReceiver
+
+from tests.test_phy_receiver import CHIP_RATE, FS, loopback_record
+
+
+class TestFrontEnd:
+    def test_agc_hits_target(self):
+        fe = FrontEnd(agc_target=0.25)
+        rng = np.random.default_rng(0)
+        record = 37.0 * (rng.standard_normal(4000) + 1j * rng.standard_normal(4000))
+        out = record * fe.agc_gain(record)
+        rms = np.sqrt(np.mean(np.abs(out) ** 2))
+        assert rms == pytest.approx(0.25, rel=1e-6)
+
+    def test_quantisation_error_bounded(self):
+        fe = FrontEnd(adc_bits=10, agc_enabled=False)
+        rng = np.random.default_rng(1)
+        record = 0.2 * (rng.standard_normal(1000) + 1j * rng.standard_normal(1000))
+        out = fe.digitize(record)
+        step = fe.full_scale / 2 ** (fe.adc_bits - 1)
+        assert np.max(np.abs(out.real - record.real)) <= step / 2 + 1e-12
+        assert np.max(np.abs(out.imag - record.imag)) <= step / 2 + 1e-12
+
+    def test_clipping_saturates(self):
+        fe = FrontEnd(adc_bits=12, agc_enabled=False, full_scale=1.0)
+        record = np.array([10.0 + 10.0j, -5.0 - 0.1j])
+        out = fe.digitize(record)
+        assert np.all(np.abs(out.real) <= 1.0)
+        assert np.all(np.abs(out.imag) <= 1.0)
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(2)
+        record = 0.3 * (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        err8 = np.abs(FrontEnd(adc_bits=8, agc_enabled=False).digitize(record) - record)
+        err14 = np.abs(FrontEnd(adc_bits=14, agc_enabled=False).digitize(record) - record)
+        assert err14.mean() < err8.mean() / 10
+
+    def test_dynamic_range(self):
+        assert FrontEnd(adc_bits=12).dynamic_range_db() == pytest.approx(72.24)
+
+    def test_exceedance(self):
+        record = np.array([0.5 + 0j, 2.0 + 0j, 0.1 + 3j, 0.2 + 0.2j])
+        assert clip_level_exceedance(record, 1.0) == pytest.approx(0.5)
+
+    def test_empty_record(self):
+        fe = FrontEnd()
+        assert len(fe.digitize(np.zeros(0, complex))) == 0
+        assert clip_level_exceedance(np.zeros(0, complex), 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrontEnd(adc_bits=0)
+        with pytest.raises(ValueError):
+            FrontEnd(agc_target=0.0)
+        with pytest.raises(ValueError):
+            FrontEnd(full_scale=-1.0)
+
+
+class TestReceiverThroughFrontEnd:
+    """The DSP chain must survive a realistic digitiser."""
+
+    def run_through(self, adc_bits, carrier_leak, noise_power=0.005):
+        record = loopback_record(
+            payload=b"through the adc",
+            carrier_leak=carrier_leak,
+            noise_power=noise_power,
+            seed=9,
+        )
+        fe = FrontEnd(adc_bits=adc_bits)
+        digitised = fe.digitize(record)
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        return rx.demodulate(digitised)
+
+    def test_12_bit_adc_with_40db_carrier(self):
+        result = self.run_through(adc_bits=12, carrier_leak=100.0)
+        assert result.success
+        assert result.frame.payload == b"through the adc"
+
+    def test_14_bit_adc_with_60db_carrier(self):
+        result = self.run_through(adc_bits=14, carrier_leak=1000.0)
+        assert result.success
+
+    def test_too_few_bits_loses_the_sidebands(self):
+        # 6-bit ADC: the 60 dB carrier eats the whole quantiser range.
+        result = self.run_through(adc_bits=6, carrier_leak=1000.0)
+        assert not result.success
+
+    def test_bits_vs_leak_tradeoff(self):
+        """More carrier leak demands more ADC bits — the classic
+        backscatter front-end constraint."""
+        assert self.run_through(adc_bits=10, carrier_leak=30.0).success
+        assert not self.run_through(adc_bits=6, carrier_leak=1000.0).success

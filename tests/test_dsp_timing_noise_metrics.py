@@ -1,0 +1,143 @@
+"""Tests for symbol timing, noise synthesis, and SNR metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.acoustics.noise import NoiseConditions, total_noise_psd_db
+from repro.dsp.metrics import (
+    db_to_linear,
+    linear_to_db,
+    measure_snr_db,
+    power,
+    rms,
+    scale_to_snr,
+)
+from repro.dsp.noisegen import colored_noise, white_noise
+from repro.dsp.timing import (
+    early_late_offset,
+    resample_linear,
+    symbol_samples,
+    symbol_sum,
+)
+
+
+class TestSymbolTiming:
+    def test_symbol_samples_exact(self):
+        assert symbol_samples(16_000.0, 2_000.0) == 8
+
+    def test_symbol_samples_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            symbol_samples(16_000.0, 3_000.0)
+
+    def test_symbol_sum_integrates(self):
+        x = np.tile([1.0, 1.0, 0.0, 0.0], 3)
+        out = symbol_sum(x, sps=4)
+        np.testing.assert_allclose(out, [2.0, 2.0, 2.0])
+
+    def test_symbol_sum_offset(self):
+        x = np.array([9.0, 1.0, 1.0, 1.0, 1.0])
+        assert symbol_sum(x, sps=4, offset=1)[0] == pytest.approx(4.0)
+
+    def test_symbol_sum_drops_partial_tail(self):
+        assert len(symbol_sum(np.ones(10), sps=4)) == 2
+
+    def test_early_late_finds_alignment(self):
+        sps = 8
+        rng = np.random.default_rng(0)
+        chips = rng.integers(0, 2, 64).astype(float)
+        wave = np.repeat(chips, sps)
+        shifted = np.concatenate([np.zeros(3), wave])
+        assert early_late_offset(shifted, sps) == 3
+
+    def test_resample_identity(self):
+        x = np.linspace(0, 1, 50)
+        np.testing.assert_allclose(resample_linear(x, 1.0), x, atol=1e-12)
+
+    def test_resample_changes_length(self):
+        x = np.linspace(0, 1, 100)
+        assert len(resample_linear(x, 1.01)) == 101
+
+    def test_resample_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            resample_linear(np.ones(5), 0.0)
+
+
+class TestNoiseGen:
+    def test_white_noise_power(self):
+        rng = np.random.default_rng(1)
+        x = white_noise(200_000, power=4.0, rng=rng)
+        assert np.mean(np.abs(x) ** 2) == pytest.approx(4.0, rel=0.02)
+
+    def test_white_noise_real_mode(self):
+        x = white_noise(1000, 1.0, np.random.default_rng(0), complex_=False)
+        assert not np.iscomplexobj(x)
+
+    def test_white_noise_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            white_noise(10, -1.0)
+
+    def test_colored_noise_total_power_matches_psd_integral(self):
+        cond = NoiseConditions.coastal_ocean(3)
+        fs = 16_000.0
+        fc = 18_500.0
+        rng = np.random.default_rng(2)
+        x = colored_noise(1 << 15, fs, cond.psd_db, fc, rng)
+        measured_db = 10 * math.log10(np.mean(np.abs(x) ** 2))
+        # Expected: PSD at fc (roughly flat across the band) + 10log10(fs).
+        expected_db = total_noise_psd_db(fc, cond) + 10 * math.log10(fs)
+        assert measured_db == pytest.approx(expected_db, abs=1.5)
+
+    def test_colored_noise_spectral_tilt(self):
+        # Wenz wind noise falls with frequency: upper half of the band
+        # should hold less power than the lower half.
+        cond = NoiseConditions.coastal_ocean(4)
+        fs = 16_000.0
+        rng = np.random.default_rng(3)
+        x = colored_noise(1 << 14, fs, cond.psd_db, 18_500.0, rng)
+        spec = np.abs(np.fft.fft(x)) ** 2
+        freqs = np.fft.fftfreq(len(x), 1 / fs)
+        low = spec[(freqs < 0)].sum()   # below carrier
+        high = spec[(freqs > 0)].sum()  # above carrier
+        assert low > high
+
+    def test_zero_length(self):
+        assert len(colored_noise(0, 8000.0, lambda f: 50.0, 18_500.0)) == 0
+
+
+class TestMetrics:
+    def test_power_and_rms(self):
+        x = np.array([3.0, -3.0, 3.0, -3.0])
+        assert power(x) == pytest.approx(9.0)
+        assert rms(x) == pytest.approx(3.0)
+
+    def test_db_roundtrip(self):
+        assert db_to_linear(linear_to_db(42.0)) == pytest.approx(42.0)
+
+    def test_linear_to_db_floors(self):
+        assert linear_to_db(0.0) == -300.0
+
+    def test_measure_snr(self):
+        rng = np.random.default_rng(4)
+        noise = white_noise(100_000, 1.0, rng)
+        signal = white_noise(100_000, 100.0, rng)
+        est = measure_snr_db(signal + noise, noise)
+        assert est == pytest.approx(20.0, abs=0.5)
+
+    def test_scale_to_snr(self):
+        rng = np.random.default_rng(5)
+        signal = white_noise(50_000, 7.0, rng)
+        scaled = scale_to_snr(signal, target_snr_db=13.0, noise_power=2.0)
+        achieved = 10 * math.log10(power(scaled) / 2.0)
+        assert achieved == pytest.approx(13.0, abs=0.1)
+
+    def test_scale_to_snr_rejects_zero_signal(self):
+        with pytest.raises(ValueError):
+            scale_to_snr(np.zeros(10), 10.0, 1.0)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=20)
+    def test_db_linear_inverse_property(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)

@@ -1,0 +1,29 @@
+"""Every example must run clean: the documentation that can't go stale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_example_inventory_matches_readme():
+    readme = (ROOT / "README.md").read_text()
+    for example in EXAMPLES:
+        assert example.name in readme, f"{example.name} missing from README"

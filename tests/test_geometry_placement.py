@@ -1,0 +1,84 @@
+"""Tests for poses and incidence-angle bookkeeping."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.placement import (
+    Pose,
+    bearing_deg,
+    elevation_deg,
+    incidence_angle_deg,
+    slant_range,
+)
+from repro.geometry.vec3 import Vec3
+
+
+class TestPose:
+    def test_default_broadside_is_plus_x(self):
+        p = Pose(Vec3.zero())
+        b = p.broadside
+        assert b.x == pytest.approx(1.0)
+        assert b.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_heading_90_points_plus_y(self):
+        b = Pose(Vec3.zero(), heading_deg=90.0).broadside
+        assert b.y == pytest.approx(1.0)
+        assert b.x == pytest.approx(0.0, abs=1e-12)
+
+    def test_tilt_points_toward_surface(self):
+        b = Pose(Vec3(0, 0, 5), tilt_deg=90.0).broadside
+        assert b.z == pytest.approx(-1.0)
+
+    def test_facing_target(self):
+        p = Pose(Vec3.zero()).facing(Vec3(0.0, 10.0, 0.0))
+        assert p.heading_deg == pytest.approx(90.0)
+        assert p.tilt_deg == pytest.approx(0.0, abs=1e-9)
+
+    def test_facing_shallower_target_tilts_up(self):
+        p = Pose(Vec3(0, 0, 10)).facing(Vec3(10.0, 0.0, 0.0))
+        assert p.tilt_deg > 0
+
+    def test_rotated_accumulates(self):
+        p = Pose(Vec3.zero(), 10.0).rotated(15.0)
+        assert p.heading_deg == pytest.approx(25.0)
+
+    def test_translated_moves_position_only(self):
+        p = Pose(Vec3(1, 1, 1), 33.0).translated(Vec3(1, 0, 0))
+        assert p.position == Vec3(2, 1, 1)
+        assert p.heading_deg == 33.0
+
+
+class TestAngles:
+    def test_slant_range(self):
+        assert slant_range(Vec3.zero(), Vec3(3, 4, 0)) == pytest.approx(5.0)
+
+    def test_bearing_quadrants(self):
+        assert bearing_deg(Vec3.zero(), Vec3(1, 0, 0)) == pytest.approx(0.0)
+        assert bearing_deg(Vec3.zero(), Vec3(0, 1, 0)) == pytest.approx(90.0)
+        assert bearing_deg(Vec3.zero(), Vec3(-1, 0, 0)) == pytest.approx(180.0)
+
+    def test_elevation_sign(self):
+        # Target above (smaller z) has positive elevation.
+        assert elevation_deg(Vec3(0, 0, 10), Vec3(10, 0, 0)) == pytest.approx(45.0)
+        assert elevation_deg(Vec3(0, 0, 0), Vec3(10, 0, 10)) == pytest.approx(-45.0)
+
+    def test_incidence_zero_when_facing(self):
+        node = Pose(Vec3(100, 0, 2), heading_deg=180.0)
+        assert incidence_angle_deg(node, Vec3(0, 0, 2)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_incidence_tracks_rotation(self):
+        node = Pose(Vec3(100, 0, 2), heading_deg=180.0)
+        for offset in (15.0, 30.0, 60.0):
+            rotated = node.rotated(offset)
+            assert incidence_angle_deg(rotated, Vec3(0, 0, 2)) == pytest.approx(
+                offset, abs=1e-9
+            )
+
+    @given(st.floats(min_value=-179, max_value=179))
+    def test_incidence_is_unsigned_and_bounded(self, offset):
+        node = Pose(Vec3(10, 0, 2), heading_deg=180.0 + offset)
+        angle = incidence_angle_deg(node, Vec3(0, 0, 2))
+        assert 0.0 <= angle <= 180.0
+        assert angle == pytest.approx(abs(offset), abs=1e-6)

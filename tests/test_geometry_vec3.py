@@ -1,0 +1,129 @@
+"""Unit and property tests for repro.geometry.vec3."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec3 import Vec3, cross, dot, norm, unit
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def vec3s():
+    return st.builds(Vec3, finite, finite, finite)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Vec3.zero().as_tuple() == (0.0, 0.0, 0.0)
+
+    def test_from_array_roundtrip(self):
+        v = Vec3.from_array(np.array([1.0, -2.0, 3.5]))
+        assert v == Vec3(1.0, -2.0, 3.5)
+        np.testing.assert_allclose(v.as_array(), [1.0, -2.0, 3.5])
+
+    def test_from_spherical_along_x(self):
+        v = Vec3.from_spherical(10.0, 0.0, 0.0)
+        assert v.x == pytest.approx(10.0)
+        assert v.y == pytest.approx(0.0)
+        assert v.z == pytest.approx(0.0)
+
+    def test_from_spherical_elevation_points_up(self):
+        v = Vec3.from_spherical(1.0, 0.0, math.pi / 2)
+        # Positive elevation decreases z (z positive down).
+        assert v.z == pytest.approx(-1.0)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+
+    def test_iteration_order(self):
+        assert list(Vec3(1, 2, 3)) == [1, 2, 3]
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        a, b = Vec3(1, 2, 3), Vec3(4, 5, 6)
+        assert a + b == Vec3(5, 7, 9)
+        assert b - a == Vec3(3, 3, 3)
+
+    def test_scalar_ops(self):
+        v = Vec3(1, -2, 3)
+        assert 2 * v == Vec3(2, -4, 6)
+        assert v / 2 == Vec3(0.5, -1, 1.5)
+        assert -v == Vec3(-1, 2, -3)
+
+    @given(vec3s(), vec3s())
+    def test_addition_commutes(self, a, b):
+        s1, s2 = a + b, b + a
+        assert s1.x == pytest.approx(s2.x)
+        assert s1.y == pytest.approx(s2.y)
+        assert s1.z == pytest.approx(s2.z)
+
+
+class TestMetrics:
+    def test_norm_pythagorean(self):
+        assert Vec3(3, 4, 0).norm() == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Vec3(1, 1, 1), Vec3(4, 5, 1)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a)) == pytest.approx(5.0)
+
+    def test_unit_has_norm_one(self):
+        u = Vec3(10, -3, 2).unit()
+        assert u.norm() == pytest.approx(1.0)
+
+    def test_unit_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec3.zero().unit()
+
+    @given(vec3s())
+    def test_norm_nonnegative(self, v):
+        assert v.norm() >= 0.0
+
+    @given(vec3s(), vec3s())
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+
+class TestProducts:
+    def test_dot_orthogonal(self):
+        assert dot(Vec3(1, 0, 0), Vec3(0, 1, 0)) == 0.0
+
+    def test_cross_right_handed(self):
+        c = cross(Vec3(1, 0, 0), Vec3(0, 1, 0))
+        assert c == Vec3(0, 0, 1)
+
+    @given(vec3s(), vec3s())
+    def test_cross_is_orthogonal(self, a, b):
+        c = cross(a, b)
+        assert dot(a, c) == pytest.approx(0.0, abs=max(a.norm() * b.norm(), 1.0) * 1e-6)
+
+    @given(vec3s())
+    def test_function_forms_match_methods(self, v):
+        assert norm(v) == v.norm()
+        if v.norm() > 1e-9:
+            assert unit(v) == v.unit()
+
+
+class TestTransforms:
+    def test_rotated_z_quarter_turn(self):
+        r = Vec3(1, 0, 5).rotated_z(math.pi / 2)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)
+        assert r.z == 5.0
+
+    @given(vec3s(), st.floats(min_value=-10, max_value=10))
+    def test_rotation_preserves_norm(self, v, angle):
+        assert v.rotated_z(angle).norm() == pytest.approx(v.norm(), rel=1e-9, abs=1e-9)
+
+    def test_surface_mirror_flips_z(self):
+        assert Vec3(1, 2, 3).mirrored_surface() == Vec3(1, 2, -3)
+
+    def test_bottom_mirror(self):
+        assert Vec3(1, 2, 3).mirrored_bottom(10.0) == Vec3(1, 2, 17.0)
+
+    def test_double_mirror_is_identity(self):
+        v = Vec3(1, 2, 3)
+        assert v.mirrored_surface().mirrored_surface() == v

@@ -1,0 +1,113 @@
+"""Tests for link adaptation."""
+
+import pytest
+
+from repro.core import Scenario, default_vab_budget
+from repro.link.adaptive import (
+    DEFAULT_MODES,
+    PhyMode,
+    adaptive_goodput_bps,
+    chip_error_probability,
+    frame_delivery_probability,
+    mode_goodput_bps,
+    select_mode,
+)
+from repro.phy.fec import FECScheme
+
+
+def budget():
+    return default_vab_budget(Scenario.river())
+
+
+def mode_by_name(name):
+    return next(m for m in DEFAULT_MODES if m.name == name)
+
+
+class TestPhyMode:
+    def test_information_rate(self):
+        assert PhyMode("x", 2_000.0).information_rate_bps() == pytest.approx(1_000.0)
+        fec = PhyMode("y", 2_000.0, FECScheme.HAMMING74)
+        assert fec.information_rate_bps() == pytest.approx(1_000.0 * 4 / 7)
+
+    def test_frame_config_carries_fec(self):
+        cfg = PhyMode("y", 2_000.0, FECScheme.HAMMING74, 8).frame_config()
+        assert cfg.fec is FECScheme.HAMMING74
+        assert cfg.interleave_depth == 8
+
+
+class TestChipError:
+    def test_grows_with_range(self):
+        b = budget()
+        mode = mode_by_name("nominal")
+        assert chip_error_probability(b, mode, 100.0) < chip_error_probability(
+            b, mode, 400.0
+        )
+
+    def test_faster_mode_errs_sooner(self):
+        b = budget()
+        fast = mode_by_name("fast")
+        slow = mode_by_name("slow")
+        r = 380.0
+        assert chip_error_probability(b, fast, r) > chip_error_probability(
+            b, slow, r
+        )
+
+
+class TestFrameDelivery:
+    def test_near_certain_close(self):
+        b = budget()
+        for mode in DEFAULT_MODES:
+            assert frame_delivery_probability(b, mode, 50.0) > 0.999
+
+    def test_fec_helps_at_the_cliff(self):
+        b = budget()
+        plain = mode_by_name("nominal")
+        coded = mode_by_name("nominal+fec")
+        r = 370.0
+        assert frame_delivery_probability(b, coded, r) > frame_delivery_probability(
+            b, plain, r
+        )
+
+    def test_bounded(self):
+        b = budget()
+        for r in (10.0, 200.0, 500.0, 1_000.0):
+            for mode in DEFAULT_MODES:
+                p = frame_delivery_probability(b, mode, r)
+                assert 0.0 <= p <= 1.0
+
+
+class TestModeSelection:
+    def test_fast_wins_close(self):
+        mode = select_mode(budget(), 50.0)
+        assert mode.name == "fast"
+
+    def test_slow_or_coded_wins_far(self):
+        mode = select_mode(budget(), 430.0)
+        assert mode is not None
+        assert mode.chip_rate < 4_000.0
+
+    def test_none_when_out_of_range(self):
+        assert select_mode(budget(), 1_500.0) is None
+
+    def test_requires_modes(self):
+        with pytest.raises(ValueError):
+            select_mode(budget(), 100.0, modes=())
+
+
+class TestAdaptiveEnvelope:
+    def test_adaptive_at_least_best_fixed(self):
+        b = budget()
+        for r in (50.0, 150.0, 300.0, 400.0, 450.0):
+            adaptive = adaptive_goodput_bps(b, r)
+            for mode in DEFAULT_MODES:
+                if frame_delivery_probability(b, mode, r) >= 0.5:
+                    assert adaptive >= mode_goodput_bps(b, mode, r) - 1e-9
+
+    def test_adaptive_extends_usable_range(self):
+        b = budget()
+        fast = mode_by_name("fast")
+        r = 400.0
+        assert adaptive_goodput_bps(b, r) > mode_goodput_bps(b, fast, r)
+
+    def test_zero_beyond_every_mode(self):
+        assert adaptive_goodput_bps(budget(), 2_000.0) == 0.0

@@ -1,0 +1,163 @@
+"""Tests for session timing, goodput, and slotted-ALOHA inventory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.link.mac import (
+    InventoryResult,
+    SlottedAlohaInventory,
+    throughput_efficiency,
+    _adapt_window,
+)
+from repro.link.session import FrameTiming, QuerySession
+from repro.phy.downlink import PIEConfig
+from repro.phy.frame import FrameConfig
+
+
+class TestFrameTiming:
+    def test_response_duration(self):
+        t = FrameTiming(chip_rate=2_000.0)
+        chips = FrameConfig().frame_chips(8)
+        assert t.response_duration_s(8) == pytest.approx(chips / 2_000.0)
+
+    def test_turnaround_round_trip(self):
+        t = FrameTiming()
+        assert t.turnaround_s(300.0, 1500.0) == pytest.approx(0.4)
+
+    def test_turnaround_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FrameTiming().turnaround_s(-1.0)
+
+    def test_round_duration_sums(self):
+        t = FrameTiming()
+        total = t.round_duration_s(8, 100.0)
+        assert total == pytest.approx(
+            t.query_duration_s()
+            + t.turnaround_s(100.0)
+            + t.response_duration_s(8)
+            + t.guard_s
+        )
+
+    def test_turnaround_dominates_at_long_range(self):
+        t = FrameTiming()
+        assert t.turnaround_s(300.0) > t.response_duration_s(8)
+
+
+class TestQuerySession:
+    def test_perfect_link_attempts(self):
+        s = QuerySession(frame_success_probability=1.0)
+        assert s.expected_attempts() == pytest.approx(1.0)
+        assert s.delivery_probability() == 1.0
+
+    def test_half_link(self):
+        s = QuerySession(frame_success_probability=0.5, max_retries=3)
+        assert s.expected_attempts() == pytest.approx((1 - 0.5**4) / 0.5)
+        assert s.delivery_probability() == pytest.approx(1 - 0.5**4)
+
+    def test_dead_link(self):
+        s = QuerySession(frame_success_probability=0.0, max_retries=2)
+        assert s.expected_attempts() == 3.0
+        assert s.delivery_probability() == 0.0
+        assert s.goodput_bps(50.0) == 0.0
+
+    def test_goodput_decreases_with_range(self):
+        s = QuerySession(frame_success_probability=1.0)
+        assert s.goodput_bps(10.0) > s.goodput_bps(300.0)
+
+    def test_goodput_decreases_with_loss(self):
+        good = QuerySession(frame_success_probability=1.0)
+        bad = QuerySession(frame_success_probability=0.3)
+        assert good.goodput_bps(100.0) > bad.goodput_bps(100.0)
+
+    def test_uplink_bitrate(self):
+        s = QuerySession()
+        # FM0: 2 chips/bit at 2 kchip/s -> 1 kbps.
+        assert s.uplink_bitrate_bps() == pytest.approx(1_000.0)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            QuerySession(frame_success_probability=1.5)
+
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=25)
+    def test_goodput_positive_for_live_links(self, p):
+        s = QuerySession(frame_success_probability=p)
+        assert s.goodput_bps(100.0) > 0.0
+
+
+class TestInventory:
+    def test_single_node_reads_fast(self):
+        inv = SlottedAlohaInventory()
+        result = inv.run({1: 50.0})
+        assert result.inventoried == [1]
+        assert result.rounds <= 2
+
+    def test_all_nodes_eventually_read(self):
+        inv = SlottedAlohaInventory(seed=3)
+        nodes = {i: 50.0 + 10 * i for i in range(1, 9)}
+        result = inv.run(nodes)
+        assert sorted(result.inventoried) == sorted(nodes)
+
+    def test_deterministic_for_seed(self):
+        nodes = {i: 40.0 for i in range(1, 6)}
+        r1 = SlottedAlohaInventory(seed=9).run(nodes)
+        r2 = SlottedAlohaInventory(seed=9).run(nodes)
+        assert r1.inventoried == r2.inventoried
+        assert r1.rounds == r2.rounds
+
+    def test_lossy_links_need_more_rounds(self):
+        nodes = {i: 60.0 for i in range(1, 6)}
+        clean = SlottedAlohaInventory(seed=4).run(nodes)
+        lossy = SlottedAlohaInventory(seed=4).run(
+            nodes, delivery_probability={i: 0.4 for i in nodes}
+        )
+        assert lossy.rounds >= clean.rounds
+        assert lossy.elapsed_s > clean.elapsed_s
+
+    def test_dead_nodes_not_inventoried(self):
+        nodes = {1: 50.0, 2: 50.0}
+        result = SlottedAlohaInventory(seed=5, max_rounds=10).run(
+            nodes, delivery_probability={1: 1.0, 2: 0.0}
+        )
+        assert 1 in result.inventoried
+        assert 2 not in result.inventoried
+        assert result.rounds == 10
+
+    def test_more_nodes_take_longer(self):
+        small = SlottedAlohaInventory(seed=6).run({i: 50.0 for i in range(1, 3)})
+        large = SlottedAlohaInventory(seed=6).run({i: 50.0 for i in range(1, 11)})
+        assert large.elapsed_s > small.elapsed_s
+
+    def test_stats_consistency(self):
+        nodes = {i: 50.0 for i in range(1, 7)}
+        result = SlottedAlohaInventory(seed=7).run(nodes)
+        assert result.stats.frames_delivered == len(result.inventoried)
+        assert result.stats.frames_sent >= result.stats.frames_delivered
+        assert 0.0 < throughput_efficiency(result) <= 1.0
+
+    def test_read_rate(self):
+        result = SlottedAlohaInventory(seed=8).run({1: 30.0, 2: 30.0})
+        assert result.node_read_rate_hz() > 0.0
+
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            SlottedAlohaInventory().run({})
+
+    def test_missing_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SlottedAlohaInventory().run({1: 10.0}, delivery_probability={2: 1.0})
+
+
+class TestWindowAdaptation:
+    def test_grows_toward_population(self):
+        assert _adapt_window(4, 20) == 8
+
+    def test_shrinks_when_overprovisioned(self):
+        assert _adapt_window(64, 3) == 32
+
+    def test_stable_at_match(self):
+        assert _adapt_window(8, 8) == 8
+
+    def test_capped(self):
+        assert _adapt_window(256, 10_000) == 256
+        assert _adapt_window(1, 1) == 1

@@ -1,0 +1,139 @@
+"""Tests for the FEC layer (Hamming, repetition, interleaving)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.bits import random_bits
+from repro.phy.fec import (
+    FECScheme,
+    code_rate,
+    deinterleave,
+    fec_decode,
+    fec_encode,
+    hamming74_decode,
+    hamming74_encode,
+    interleave,
+    repetition3_decode,
+    repetition3_encode,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=64)
+
+
+class TestHamming:
+    @given(bit_lists)
+    @settings(max_examples=40)
+    def test_clean_roundtrip(self, bits):
+        coded = hamming74_encode(bits)
+        decoded, corrections = hamming74_decode(coded)
+        pad = (-len(bits)) % 4
+        np.testing.assert_array_equal(decoded[: len(bits)], bits)
+        assert corrections == 0
+        assert len(coded) == (len(bits) + pad) // 4 * 7
+
+    def test_corrects_any_single_error_per_block(self):
+        bits = random_bits(16, np.random.default_rng(0))
+        coded = hamming74_encode(bits)
+        for pos in range(len(coded)):
+            corrupted = coded.copy()
+            corrupted[pos] ^= 1
+            decoded, corrections = hamming74_decode(corrupted)
+            np.testing.assert_array_equal(decoded[:16], bits)
+            assert corrections == 1
+
+    def test_double_error_in_block_not_corrected(self):
+        bits = np.array([1, 0, 1, 1])
+        coded = hamming74_encode(bits)
+        corrupted = coded.copy()
+        corrupted[0] ^= 1
+        corrupted[3] ^= 1
+        decoded, __ = hamming74_decode(corrupted)
+        assert not np.array_equal(decoded[:4], bits)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            hamming74_decode([1, 0, 1])
+
+
+class TestRepetition:
+    @given(bit_lists)
+    @settings(max_examples=40)
+    def test_clean_roundtrip(self, bits):
+        decoded, corrections = repetition3_decode(repetition3_encode(bits))
+        np.testing.assert_array_equal(decoded, bits)
+        assert corrections == 0
+
+    def test_corrects_one_of_three(self):
+        coded = repetition3_encode([1, 0]).copy()
+        coded[1] ^= 1  # corrupt one vote of the first bit
+        decoded, corrections = repetition3_decode(coded)
+        np.testing.assert_array_equal(decoded, [1, 0])
+        assert corrections == 1
+
+    def test_two_of_three_loses(self):
+        coded = repetition3_encode([1]).copy()
+        coded[0] ^= 1
+        coded[1] ^= 1
+        decoded, __ = repetition3_decode(coded)
+        assert decoded[0] == 0
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            repetition3_decode([1, 0])
+
+
+class TestInterleaver:
+    @given(bit_lists, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_roundtrip(self, bits, depth):
+        inter = interleave(bits, depth)
+        out = deinterleave(inter, depth, len(bits))
+        np.testing.assert_array_equal(out, bits)
+
+    def test_breaks_bursts(self):
+        # A burst of 4 consecutive chip errors lands in 4 different
+        # Hamming blocks after deinterleaving with depth >= 4.
+        bits = random_bits(32, np.random.default_rng(1))
+        coded = hamming74_encode(bits)          # 56 coded bits
+        inter = interleave(coded, depth=7)
+        burst_start = 20
+        inter[burst_start : burst_start + 4] ^= 1
+        recovered = deinterleave(inter, 7, len(coded))
+        decoded, corrections = hamming74_decode(recovered)
+        np.testing.assert_array_equal(decoded[:32], bits)
+        assert corrections == 4
+
+    def test_burst_without_interleaver_kills_block(self):
+        bits = random_bits(32, np.random.default_rng(2))
+        coded = hamming74_encode(bits).copy()
+        coded[0:4] ^= 1  # 4-bit burst inside one block
+        decoded, __ = hamming74_decode(coded)
+        assert not np.array_equal(decoded[:32], bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleave([1, 0], 0)
+        with pytest.raises(ValueError):
+            deinterleave([1, 0, 1], 2, 3)
+
+
+class TestDispatch:
+    @given(bit_lists, st.sampled_from(list(FECScheme)))
+    @settings(max_examples=40)
+    def test_roundtrip_all_schemes(self, bits, scheme):
+        coded = fec_encode(bits, scheme)
+        decoded, corrections = fec_decode(coded, scheme)
+        np.testing.assert_array_equal(decoded[: len(bits)], bits)
+        assert corrections == 0
+
+    def test_code_rates(self):
+        assert code_rate(FECScheme.NONE) == 1.0
+        assert code_rate(FECScheme.HAMMING74) == pytest.approx(4 / 7)
+        assert code_rate(FECScheme.REPETITION3) == pytest.approx(1 / 3)
+
+    def test_rate_matches_expansion(self):
+        bits = random_bits(28, np.random.default_rng(3))
+        for scheme in FECScheme:
+            coded = fec_encode(bits, scheme)
+            assert len(coded) == pytest.approx(len(bits) / code_rate(scheme))

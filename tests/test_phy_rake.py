@@ -1,0 +1,176 @@
+"""Tests for channel estimation, rake combining, and the chip DFE."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.noisegen import white_noise
+from repro.phy.rake import ChannelEstimate, estimate_channel, rake_combine
+from repro.phy.receiver import ReaderReceiver
+
+from tests.test_phy_receiver import CHIP_RATE, FS, SPS, loopback_record
+
+
+def two_tap_record(
+    echo_delay_samples=24,
+    echo_gain=0.7 + 0.0j,
+    payload=b"rake me",
+    noise_power=0.0,
+    seed=0,
+    phase=0.0,
+):
+    """A record that arrives twice: main path plus one echo."""
+    base = loopback_record(
+        payload=payload, carrier_leak=0.0, noise_power=0.0, phase=phase, seed=seed
+    )
+    record = base.copy()
+    record[echo_delay_samples:] += echo_gain * base[:-echo_delay_samples]
+    record = record + 10.0  # static carrier leak
+    if noise_power > 0:
+        record = record + white_noise(
+            len(record), noise_power, np.random.default_rng(seed)
+        )
+    return record
+
+
+class TestChannelEstimation:
+    def test_single_path_single_tap(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        centred = rx.suppress_carrier(loopback_record(seed=1, noise_power=0.001))
+        det = rx.find_preamble(centred)
+        est = estimate_channel(centred, det, SPS)
+        assert est.active_taps == 1
+        assert abs(est.taps[0]) > 0
+
+    def test_echo_tap_found_at_right_delay(self):
+        delay = 24
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        centred = rx.suppress_carrier(two_tap_record(echo_delay_samples=delay))
+        det = rx.find_preamble(centred)
+        est = estimate_channel(centred, det, SPS, max_taps=32)
+        nz = np.flatnonzero(est.taps)
+        assert 0 in nz
+        assert any(abs(int(k) - delay) <= 1 for k in nz)
+
+    def test_echo_gain_roughly_recovered(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        gain = 0.6 * np.exp(1j * 0.8)
+        centred = rx.suppress_carrier(
+            two_tap_record(echo_delay_samples=24, echo_gain=gain)
+        )
+        det = rx.find_preamble(centred)
+        est = estimate_channel(centred, det, SPS, max_taps=32)
+        ratio = est.taps[24] / est.taps[0]
+        # Data leakage into the correlation window biases the estimate;
+        # the DFE only needs the right ballpark (magnitude within ~40%,
+        # phase within ~0.5 rad) to converge.
+        assert abs(ratio) == pytest.approx(0.6, abs=0.25)
+        assert np.angle(ratio) == pytest.approx(0.8, abs=0.5)
+
+    def test_gate_zeroes_noise_taps(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        centred = rx.suppress_carrier(loopback_record(seed=2, noise_power=0.01))
+        det = rx.find_preamble(centred)
+        est = estimate_channel(centred, det, SPS, max_taps=16, gate=0.4)
+        assert est.active_taps <= 2
+
+    def test_delay_spread(self):
+        taps = np.zeros(8, complex)
+        taps[0] = 1.0
+        taps[5] = 0.5
+        est = ChannelEstimate(taps=taps, noise_floor=0.1)
+        assert est.delay_spread_samples() == 5
+        assert est.active_taps == 2
+
+
+class TestRakeCombine:
+    def test_identity_for_single_unit_tap(self):
+        taps = np.zeros(4, complex)
+        taps[0] = 1.0
+        x = np.arange(10, dtype=complex)
+        np.testing.assert_allclose(
+            rake_combine(x, ChannelEstimate(taps, 0.0)), x
+        )
+
+    def test_zero_channel_passthrough(self):
+        x = np.arange(5, dtype=complex)
+        est = ChannelEstimate(np.zeros(4, complex), 0.0)
+        np.testing.assert_allclose(rake_combine(x, est), x)
+
+    def test_two_tap_mrc_math(self):
+        """MRC aligns and conjugate-weights the echo copy."""
+        taps = np.zeros(4, complex)
+        taps[0] = 1.0
+        taps[2] = 0.5j
+        x = np.array([1.0, 0.0, 0.5j, 0.0, 0.0, 0.0], dtype=complex)
+        y = rake_combine(x, ChannelEstimate(taps, 0.0))
+        # y[0] = (x[0] + conj(0.5j) x[2]) / 1.25 = (1 + 0.25) / 1.25 = 1
+        assert y[0] == pytest.approx(1.0)
+
+    def test_rake_harmless_on_clean_channel(self):
+        record = loopback_record(payload=b"clean", seed=6, noise_power=0.005)
+        raked = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE, rake_taps=16)
+        result = raked.demodulate(record)
+        assert result.success
+        assert result.frame.payload == b"clean"
+
+
+class TestDecisionFeedbackEqualizer:
+    """For unspread OOK the dominant multipath impairment is inter-chip
+    interference; the DFE cancels it from past decisions."""
+
+    def cases(self):
+        return [
+            (0.7 + 0.0j, 24, 0.01, 4),
+            (0.6 + 0.3j, 16, 0.01, 5),
+            (-0.8 + 0.0j, 32, 0.02, 6),
+        ]
+
+    def test_dfe_rescues_isi_limited_frames(self):
+        for echo, delay, noise, seed in self.cases():
+            record = two_tap_record(
+                echo_delay_samples=delay, echo_gain=echo,
+                noise_power=noise, seed=seed,
+            )
+            plain = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE).demodulate(record)
+            dfe = ReaderReceiver(
+                fs=FS, chip_rate=CHIP_RATE, equalizer_taps=48
+            ).demodulate(record)
+            assert not plain.success, f"plain unexpectedly fine for {echo}"
+            assert dfe.success, f"DFE failed for {echo}"
+
+    def test_dfe_improves_eye_snr(self):
+        for echo, delay, noise, seed in self.cases():
+            record = two_tap_record(
+                echo_delay_samples=delay, echo_gain=echo,
+                noise_power=noise, seed=seed,
+            )
+            plain = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE).demodulate(record)
+            dfe = ReaderReceiver(
+                fs=FS, chip_rate=CHIP_RATE, equalizer_taps=48
+            ).demodulate(record)
+            assert dfe.snr_db > plain.snr_db + 1.0
+
+    def test_dfe_harmless_on_clean_channel(self):
+        record = loopback_record(payload=b"no isi here", seed=7, noise_power=0.005)
+        dfe = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE, equalizer_taps=32)
+        result = dfe.demodulate(record)
+        assert result.success
+        assert result.frame.payload == b"no isi here"
+
+    def test_dfe_with_phase_rotation(self):
+        record = two_tap_record(
+            echo_delay_samples=24, echo_gain=0.7 + 0j,
+            noise_power=0.005, seed=8, phase=1.2,
+        )
+        dfe = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE, equalizer_taps=48)
+        assert dfe.demodulate(record).success
+
+    def test_dfe_payload_integrity(self):
+        record = two_tap_record(
+            echo_delay_samples=32, echo_gain=-0.8 + 0j,
+            payload=b"deep multipath!!", noise_power=0.01, seed=9,
+        )
+        dfe = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE, equalizer_taps=48)
+        result = dfe.demodulate(record)
+        assert result.success
+        assert result.frame.payload == b"deep multipath!!"

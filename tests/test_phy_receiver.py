@@ -1,0 +1,143 @@
+"""Tests for the reader receive chain (transmitter + receiver loopback)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.noisegen import white_noise
+from repro.phy.frame import FrameConfig, build_frame
+from repro.phy.receiver import DemodResult, ReaderReceiver, _eye_snr_db
+from repro.phy.transmitter import ReaderTransmitter
+from repro.vanatta.switching import ModulationSwitch, chips_to_waveform
+
+FS = 16_000.0
+CHIP_RATE = 2_000.0
+SPS = int(FS / CHIP_RATE)
+
+
+def loopback_record(
+    payload=b"hello",
+    node_id=5,
+    amplitude=1.0,
+    carrier_leak=10.0,
+    noise_power=0.0,
+    phase=0.0,
+    idle_chips=20,
+    seed=0,
+):
+    """Synthesise a received record: leak + modulated reflection + noise."""
+    cfg = FrameConfig()
+    chips = build_frame(node_id, payload, cfg)
+    all_chips = np.concatenate(
+        [np.zeros(idle_chips, np.int64), chips, np.zeros(8, np.int64)]
+    )
+    mod = chips_to_waveform(all_chips, SPS, ModulationSwitch())
+    signal = amplitude * mod.astype(complex) * np.exp(1j * phase)
+    record = signal + carrier_leak
+    if noise_power > 0:
+        record = record + white_noise(len(record), noise_power, np.random.default_rng(seed))
+    return record
+
+
+class TestLoopback:
+    def test_clean_decode(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        result = rx.demodulate(loopback_record())
+        assert result.success
+        assert result.frame.node_id == 5
+        assert result.frame.payload == b"hello"
+
+    def test_decode_with_phase_rotation(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        for phase in (0.5, 1.5, 3.0, -2.0):
+            result = rx.demodulate(loopback_record(phase=phase))
+            assert result.success, f"failed at phase {phase}"
+
+    def test_decode_under_huge_carrier_leak(self):
+        # 60 dB of static carrier above the data: stage 1 must remove it.
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        result = rx.demodulate(loopback_record(amplitude=1.0, carrier_leak=1000.0))
+        assert result.success
+
+    def test_decode_in_moderate_noise(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        result = rx.demodulate(loopback_record(noise_power=0.02, seed=3))
+        assert result.success
+
+    def test_fails_cleanly_in_pure_noise(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        record = white_noise(8000, 1.0, np.random.default_rng(4))
+        result = rx.demodulate(record)
+        assert not result.success
+        assert result.detection is None
+        assert result.snr_db == -math.inf
+
+    def test_snr_estimate_tracks_noise(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        quiet = rx.demodulate(loopback_record(noise_power=0.001, seed=5))
+        loud = rx.demodulate(loopback_record(noise_power=0.05, seed=5))
+        assert quiet.snr_db > loud.snr_db
+
+    def test_long_payload(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        payload = bytes(range(64))
+        result = rx.demodulate(loopback_record(payload=payload))
+        assert result.success
+        assert result.frame.payload == payload
+
+    def test_small_amplitude_scale_invariance(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        result = rx.demodulate(loopback_record(amplitude=1e-5, carrier_leak=1e-3))
+        assert result.success
+
+
+class TestStages:
+    def test_suppress_carrier_removes_mean(self):
+        rx = ReaderReceiver(fs=FS, chip_rate=CHIP_RATE)
+        record = np.full(4000, 7.0 + 2.0j)
+        out = rx.suppress_carrier(record)
+        assert np.abs(out[1000:]).max() < 1e-6
+
+    def test_sps_computed(self):
+        assert ReaderReceiver(fs=FS, chip_rate=CHIP_RATE).sps == 8
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            ReaderReceiver(fs=16_000.0, chip_rate=3_000.0)
+
+
+class TestEyeSnr:
+    def test_clean_eye_is_high(self):
+        soft = np.tile([1.0, -1.0], 50) + 0.001 * np.random.default_rng(0).standard_normal(100)
+        assert _eye_snr_db(soft) > 30.0
+
+    def test_too_few_values(self):
+        assert _eye_snr_db(np.array([1.0, -1.0])) == -math.inf
+
+
+class TestTransmitter:
+    def test_carrier_constant(self):
+        tx = ReaderTransmitter(fs=FS)
+        c = tx.carrier(0.01)
+        assert len(c) == 160
+        assert np.all(c == 1.0 + 0j)
+
+    def test_downlink_gates_carrier(self):
+        tx = ReaderTransmitter(fs=FS)
+        wave = tx.downlink([1, 0, 1])
+        assert set(np.unique(wave.real)) <= {0.0, 1.0}
+        assert wave.real.min() == 0.0
+
+    def test_query_waveform_concatenates(self):
+        tx = ReaderTransmitter(fs=FS)
+        q = tx.query_waveform([1, 0], listen_duration_s=0.05)
+        assert len(q) == len(tx.downlink([1, 0])) + len(tx.carrier(0.05))
+        # Listen window is pure carrier.
+        assert np.all(q[-10:] == 1.0 + 0j)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReaderTransmitter(carrier_hz=0.0)
+        with pytest.raises(ValueError):
+            ReaderTransmitter().carrier(-1.0)

@@ -1,0 +1,100 @@
+"""Tests for payload scrambling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.bits import bits_from_bytes
+from repro.phy.scrambler import bias, descramble, run_length_max, scramble
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), min_size=0, max_size=256)
+
+
+class TestScramble:
+    @given(bit_lists)
+    @settings(max_examples=50)
+    def test_involution(self, bits):
+        np.testing.assert_array_equal(descramble(scramble(bits)), bits)
+
+    def test_deterministic(self):
+        bits = bits_from_bytes(b"same in, same out")
+        np.testing.assert_array_equal(scramble(bits), scramble(bits))
+
+    def test_whitens_all_zeros(self):
+        zeros = np.zeros(512, dtype=np.int64)
+        out = scramble(zeros)
+        assert bias(out) < 0.05
+        assert run_length_max(out) <= 8
+
+    def test_whitens_all_ones(self):
+        ones = np.ones(512, dtype=np.int64)
+        out = scramble(ones)
+        assert bias(out) < 0.05
+
+    def test_whitens_stuck_sensor_payload(self):
+        payload = bits_from_bytes(b"\x00" * 32)
+        raw_run = run_length_max(payload)
+        scrambled_run = run_length_max(scramble(payload))
+        assert raw_run == 256
+        assert scrambled_run < 10
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            scramble([0, 2, 1])
+
+    def test_empty(self):
+        assert len(scramble([])) == 0
+
+
+class TestDiagnostics:
+    def test_run_length(self):
+        assert run_length_max([0, 0, 0, 1, 1, 0]) == 3
+        assert run_length_max([1]) == 1
+        assert run_length_max([]) == 0
+
+    def test_bias(self):
+        assert bias([1, 1, 1, 1]) == pytest.approx(0.5)
+        assert bias([0, 1, 0, 1]) == 0.0
+        assert bias([]) == 0.0
+
+
+class TestScrambledFraming:
+    def test_roundtrip_with_scrambling(self):
+        from repro.phy.frame import FrameConfig, build_frame, parse_frame
+
+        cfg = FrameConfig(scramble=True)
+        chips = build_frame(11, b"\x00" * 16, cfg)
+        frame = parse_frame(chips[len(cfg.preamble):], cfg)
+        assert frame is not None
+        assert frame.crc_ok
+        assert frame.payload == b"\x00" * 16
+
+    def test_on_air_bits_are_whitened(self):
+        import numpy as np
+
+        from repro.phy.coding import fm0_decode
+        from repro.phy.frame import FrameConfig, build_frame
+        from repro.phy.scrambler import run_length_max
+
+        plain_cfg = FrameConfig(scramble=False)
+        scr_cfg = FrameConfig(scramble=True)
+        payload = b"\x00" * 24
+        plain_bits, __ = fm0_decode(
+            build_frame(1, payload, plain_cfg)[len(plain_cfg.preamble):]
+        )
+        scr_bits, __ = fm0_decode(
+            build_frame(1, payload, scr_cfg)[len(scr_cfg.preamble):]
+        )
+        assert run_length_max(plain_bits) > 100
+        assert run_length_max(scr_bits) < 20
+
+    def test_scrambling_composes_with_fec(self):
+        from repro.phy.fec import FECScheme
+        from repro.phy.frame import FrameConfig, build_frame, parse_frame
+
+        cfg = FrameConfig(scramble=True, fec=FECScheme.HAMMING74,
+                          interleave_depth=8)
+        chips = build_frame(2, b"stuck\x00\x00\x00sensor", cfg)
+        frame = parse_frame(chips[len(cfg.preamble):], cfg)
+        assert frame.crc_ok
+        assert frame.payload == b"stuck\x00\x00\x00sensor"

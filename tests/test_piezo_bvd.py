@@ -1,0 +1,96 @@
+"""Tests for the Butterworth-Van Dyke transducer circuit model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.piezo.bvd import BVDModel
+
+
+class TestConstruction:
+    def test_from_resonance_hits_target(self):
+        m = BVDModel.from_resonance(18_500.0, q_factor=20.0)
+        assert m.series_resonance_hz == pytest.approx(18_500.0, rel=1e-9)
+        assert m.q_factor == pytest.approx(20.0, rel=1e-9)
+
+    def test_vab_element_defaults(self):
+        m = BVDModel.vab_element()
+        assert m.series_resonance_hz == pytest.approx(18_500.0, rel=1e-6)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            BVDModel(c0_farad=0.0, rm_ohm=1.0, lm_henry=1.0, cm_farad=1e-9)
+        with pytest.raises(ValueError):
+            BVDModel.from_resonance(-5.0)
+
+    def test_rejects_bad_radiation_fraction(self):
+        with pytest.raises(ValueError):
+            BVDModel.from_resonance(18_500.0, radiation_fraction=0.0)
+
+
+class TestResonances:
+    def test_parallel_above_series(self):
+        m = BVDModel.vab_element()
+        assert m.parallel_resonance_hz > m.series_resonance_hz
+
+    def test_coupling_coefficient_in_range(self):
+        m = BVDModel.vab_element()
+        assert 0.0 < m.coupling_coefficient < 1.0
+
+    def test_stronger_coupling_with_smaller_ratio(self):
+        strong = BVDModel.from_resonance(18_500.0, capacitance_ratio=5.0)
+        weak = BVDModel.from_resonance(18_500.0, capacitance_ratio=30.0)
+        assert strong.coupling_coefficient > weak.coupling_coefficient
+
+    def test_bandwidth_matches_q(self):
+        m = BVDModel.from_resonance(18_500.0, q_factor=18.5)
+        assert m.bandwidth_hz() == pytest.approx(1000.0, rel=1e-6)
+
+
+class TestImpedance:
+    def test_motional_branch_resistive_at_resonance(self):
+        m = BVDModel.vab_element()
+        z = m.motional_impedance(m.series_resonance_hz)
+        assert z.imag == pytest.approx(0.0, abs=1e-6 * abs(z.real))
+        assert z.real == pytest.approx(m.rm_ohm)
+
+    def test_terminal_impedance_near_rm_at_resonance(self):
+        # C0 shunts a bit; terminal resistance is slightly below Rm.
+        m = BVDModel.vab_element()
+        z = m.impedance(m.series_resonance_hz)
+        assert 0.3 * m.rm_ohm < abs(z) <= m.rm_ohm * 1.01
+
+    def test_capacitive_far_below_resonance(self):
+        m = BVDModel.vab_element()
+        z = m.impedance(1000.0)
+        assert z.imag < 0  # capacitive
+        assert abs(z) > abs(m.impedance(m.series_resonance_hz))
+
+    def test_admittance_is_inverse(self):
+        m = BVDModel.vab_element()
+        f = 17_000.0
+        assert m.admittance(f) * m.impedance(f) == pytest.approx(1.0 + 0.0j)
+
+    def test_impedance_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            BVDModel.vab_element().impedance(0.0)
+
+    def test_conjugate_match_absorbs_reactance(self):
+        m = BVDModel.vab_element()
+        f = 18_200.0
+        z_match = m.conjugate_match(f)
+        assert z_match.imag == pytest.approx(-m.impedance(f).imag)
+
+    @given(st.floats(min_value=5e3, max_value=5e4))
+    @settings(max_examples=30)
+    def test_passive_impedance_everywhere(self, f):
+        z = BVDModel.vab_element().impedance(f)
+        assert z.real > 0  # passive network
+
+    def test_radiation_resistance_fraction(self):
+        m = BVDModel.from_resonance(18_500.0, radiation_fraction=0.6)
+        assert m.radiation_resistance() == pytest.approx(0.6 * m.rm_ohm)
+
+    def test_repr_mentions_resonance(self):
+        assert "18500" in repr(BVDModel.vab_element())

@@ -1,0 +1,109 @@
+"""Tests for energy harvesting and the node power budget."""
+
+import math
+
+import pytest
+
+from repro.piezo.harvester import (
+    EnergyHarvester,
+    PowerBudget,
+    intensity_from_spl,
+)
+
+
+class TestIntensity:
+    def test_reference_level(self):
+        # 0 dB re 1 uPa is the reference intensity by construction.
+        assert intensity_from_spl(0.0) == pytest.approx(6.7e-19, rel=0.01)
+
+    def test_ten_db_is_factor_ten(self):
+        assert intensity_from_spl(10.0) / intensity_from_spl(0.0) == pytest.approx(
+            10.0
+        )
+
+
+class TestHarvester:
+    def test_threshold_gates_harvest(self):
+        h = EnergyHarvester()
+        f = 18_500.0
+        # Very weak field: open-circuit voltage below rectifier threshold.
+        assert h.harvested_power_w(120.0, f) == 0.0
+
+    def test_harvest_positive_above_threshold(self):
+        h = EnergyHarvester()
+        assert h.harvested_power_w(170.0, 18_500.0) > 0.0
+
+    def test_harvest_scales_with_level(self):
+        h = EnergyHarvester()
+        f = 18_500.0
+        p1 = h.harvested_power_w(170.0, f)
+        p2 = h.harvested_power_w(180.0, f)
+        assert p2 == pytest.approx(10.0 * p1, rel=1e-6)
+
+    def test_more_elements_capture_more(self):
+        one = EnergyHarvester(num_elements=1)
+        four = EnergyHarvester(num_elements=4)
+        f = 18_500.0
+        assert four.captured_acoustic_power_w(160.0, f) == pytest.approx(
+            4.0 * one.captured_acoustic_power_w(160.0, f)
+        )
+
+    def test_efficiencies_discount(self):
+        h = EnergyHarvester()
+        f = 18_500.0
+        acoustic = h.captured_acoustic_power_w(175.0, f)
+        dc = h.harvested_power_w(175.0, f)
+        assert dc < acoustic
+        assert dc == pytest.approx(
+            acoustic * h.electroacoustic_efficiency * h.rectifier_efficiency
+        )
+
+    def test_charge_time_finite_when_net_positive(self):
+        h = EnergyHarvester()
+        t = h.charge_time_s(175.0, 18_500.0, target_voltage=2.2)
+        assert 0.0 < t < math.inf
+
+    def test_charge_time_infinite_when_load_exceeds(self):
+        h = EnergyHarvester()
+        harvested = h.harvested_power_w(170.0, 18_500.0)
+        t = h.charge_time_s(170.0, 18_500.0, load_power_w=harvested * 2.0)
+        assert t == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyHarvester(num_elements=0)
+        with pytest.raises(ValueError):
+            EnergyHarvester(rectifier_efficiency=1.5)
+
+
+class TestPowerBudget:
+    def test_micro_watt_scale(self):
+        # The node must be ultra-low power: single-digit microwatts.
+        avg = PowerBudget().average_power_w(bitrate_bps=1000.0)
+        assert avg < 10e-6
+
+    def test_higher_bitrate_costs_more(self):
+        b = PowerBudget()
+        assert b.average_power_w(2000.0) > b.average_power_w(100.0)
+
+    def test_duty_cycle_scales_active_power(self):
+        lazy = PowerBudget(duty_cycle=0.01)
+        busy = PowerBudget(duty_cycle=0.5)
+        assert busy.average_power_w(1000.0) > lazy.average_power_w(1000.0)
+
+    def test_breakdown_sums_to_average(self):
+        b = PowerBudget()
+        parts = b.breakdown(bitrate_bps=1000.0)
+        assert sum(parts.values()) == pytest.approx(b.average_power_w(1000.0))
+
+    def test_sustainability(self):
+        b = PowerBudget()
+        need = b.average_power_w(1000.0)
+        assert b.is_sustainable(need * 1.1, 1000.0)
+        assert not b.is_sustainable(need * 0.9, 1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerBudget(duty_cycle=1.5)
+        with pytest.raises(ValueError):
+            PowerBudget().average_power_w(-1.0)

@@ -1,0 +1,123 @@
+"""Tests for transducer calibration and load-reflection math."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.piezo.bvd import BVDModel
+from repro.piezo.matching import (
+    OPEN_CIRCUIT,
+    SHORT_CIRCUIT,
+    mismatch_loss_db,
+    modulation_depth,
+    modulation_depth_for,
+    power_wave_reflection,
+    reflection_states,
+)
+from repro.piezo.transducer import Transducer
+
+
+class TestTransducerResponse:
+    def test_tvr_peaks_at_resonance(self):
+        t = Transducer()
+        fs = t.bvd.series_resonance_hz
+        assert t.tvr_db(fs) == pytest.approx(t.tvr_peak_db, abs=0.2)
+        assert t.tvr_db(fs * 0.8) < t.tvr_peak_db - 3.0
+
+    def test_rvs_follows_same_shape(self):
+        t = Transducer()
+        fs = t.bvd.series_resonance_hz
+        drop_tvr = t.tvr_peak_db - t.tvr_db(fs * 1.1)
+        drop_rvs = t.rvs_peak_db - t.rvs_db(fs * 1.1)
+        assert drop_tvr == pytest.approx(drop_rvs, rel=1e-9)
+
+    def test_source_level_scales_with_voltage(self):
+        t = Transducer()
+        fs = t.bvd.series_resonance_hz
+        sl1 = t.source_level_db(1.0, fs)
+        sl10 = t.source_level_db(10.0, fs)
+        assert sl10 - sl1 == pytest.approx(20.0)
+
+    def test_source_level_rejects_bad_voltage(self):
+        with pytest.raises(ValueError):
+            Transducer().source_level_db(0.0, 18_500.0)
+
+    def test_received_voltage_matches_sensitivity(self):
+        t = Transducer()
+        fs = t.bvd.series_resonance_hz
+        # 160 dB re 1 uPa at -193 dB re 1V/uPa -> -33 dBV ~ 22.4 mV.
+        v = t.received_voltage_rms(160.0, fs)
+        assert 20 * math.log10(v) == pytest.approx(160.0 + t.rvs_peak_db, abs=0.2)
+
+    def test_element_gain_broadside_unity(self):
+        assert Transducer().element_gain(0.0) == pytest.approx(1.0)
+
+    def test_element_gain_rolls_off(self):
+        t = Transducer()
+        assert t.element_gain(60.0) < t.element_gain(30.0) < 1.0
+
+    def test_element_gain_endfire_zero(self):
+        assert Transducer().element_gain(90.0) == 0.0
+
+    def test_omni_element_flat(self):
+        t = Transducer(elevation_rolloff_exponent=0.0)
+        assert t.element_gain(80.0) == pytest.approx(1.0)
+
+    def test_effective_aperture(self):
+        t = Transducer()
+        lam = 1500.0 / 18_500.0
+        assert t.effective_aperture_m2(18_500.0) == pytest.approx(
+            lam**2 / (4 * math.pi)
+        )
+
+
+class TestReflection:
+    def test_matched_load_absorbs(self):
+        z_t = complex(100.0, 40.0)
+        gamma = power_wave_reflection(z_t.conjugate(), z_t)
+        assert abs(gamma) == pytest.approx(0.0, abs=1e-12)
+
+    def test_open_and_short_fully_reflect(self):
+        z_t = complex(250.0, -80.0)
+        assert abs(power_wave_reflection(OPEN_CIRCUIT, z_t)) == pytest.approx(
+            1.0, abs=1e-6
+        )
+        assert abs(power_wave_reflection(SHORT_CIRCUIT, z_t)) == pytest.approx(
+            1.0, abs=1e-2
+        )
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e5),
+        st.floats(min_value=-1e4, max_value=1e4),
+    )
+    @settings(max_examples=40)
+    def test_passive_loads_bounded(self, r, x):
+        z_t = BVDModel.vab_element().impedance(18_500.0)
+        gamma = power_wave_reflection(complex(r, x), z_t)
+        assert abs(gamma) <= 1.0 + 1e-9
+
+    def test_default_states_give_high_depth(self):
+        bvd = BVDModel.vab_element()
+        g_on, g_off = reflection_states(bvd, bvd.series_resonance_hz)
+        assert abs(g_off) == pytest.approx(0.0, abs=1e-9)  # conjugate match
+        depth = modulation_depth(g_on, g_off)
+        assert depth > 0.4
+
+    def test_modulation_depth_maximal_for_open_short(self):
+        assert modulation_depth(1.0 + 0j, -1.0 + 0j) == pytest.approx(1.0)
+
+    def test_depth_for_wrapper(self):
+        bvd = BVDModel.vab_element()
+        f = bvd.series_resonance_hz
+        g_on, g_off = reflection_states(bvd, f)
+        assert modulation_depth_for(bvd, f) == pytest.approx(
+            modulation_depth(g_on, g_off)
+        )
+
+    def test_mismatch_loss(self):
+        assert mismatch_loss_db(0.0 + 0j) == pytest.approx(0.0)
+        # |Gamma| = 0.707 -> half the power reflected -> 3 dB.
+        assert mismatch_loss_db(complex(math.sqrt(0.5), 0)) == pytest.approx(
+            3.01, abs=0.02
+        )

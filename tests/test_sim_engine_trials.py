@@ -1,0 +1,164 @@
+"""Integration tests: the end-to-end waveform simulator and campaigns."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.conventional_array import ConventionalNode
+from repro.baselines.pab import pab_node
+from repro.core import Scenario
+from repro.sim.engine import TrialResult, simulate_trial
+from repro.sim.results import BERPoint, CampaignResult
+from repro.sim.sweep import sweep_range
+from repro.sim.trials import TrialCampaign, run_campaign
+from repro.vanatta.array import VanAttaArray
+from repro.vanatta.node import VanAttaNode
+
+
+class TestSimulateTrial:
+    def test_noise_free_trial_is_perfect(self):
+        result = simulate_trial(
+            Scenario.river(range_m=100.0),
+            rng=np.random.default_rng(0),
+            include_noise=False,
+        )
+        assert result.detected
+        assert result.frame_ok
+        assert result.ber == 0.0
+
+    def test_short_range_noisy_trial_succeeds(self):
+        result = simulate_trial(
+            Scenario.river(range_m=30.0), rng=np.random.default_rng(1)
+        )
+        assert result.success
+        assert result.snr_db > 10.0
+
+    def test_extreme_range_fails(self):
+        result = simulate_trial(
+            Scenario.river(range_m=2_000.0), rng=np.random.default_rng(2)
+        )
+        assert not result.frame_ok
+        assert result.ber >= 0.4
+
+    def test_deterministic_given_rng(self):
+        a = simulate_trial(Scenario.river(range_m=350.0), rng=np.random.default_rng(7),
+                           payload=b"abcdefgh")
+        b = simulate_trial(Scenario.river(range_m=350.0), rng=np.random.default_rng(7),
+                           payload=b"abcdefgh")
+        assert a == b
+
+    def test_result_records_geometry(self):
+        sc = Scenario.river(range_m=80.0, node_heading_offset_deg=25.0)
+        result = simulate_trial(sc, rng=np.random.default_rng(3), include_noise=False)
+        assert result.range_m == pytest.approx(80.0)
+        assert result.incidence_deg == pytest.approx(25.0, abs=1e-6)
+
+    def test_orientation_robustness(self):
+        """Frames decode across node orientations (the Van Atta claim)."""
+        for offset in (-45.0, -20.0, 0.0, 20.0, 45.0):
+            sc = Scenario.river(range_m=100.0, node_heading_offset_deg=offset)
+            result = simulate_trial(sc, rng=np.random.default_rng(4))
+            assert result.success, f"failed at offset {offset}"
+
+    def test_pab_node_dies_where_vab_lives(self):
+        sc = Scenario.river(range_m=60.0)
+        vab = simulate_trial(sc, rng=np.random.default_rng(5),
+                             si_suppression_db=130.0)
+        pab = simulate_trial(sc, node=pab_node(), rng=np.random.default_rng(5),
+                             si_suppression_db=95.0)
+        assert vab.success
+        assert not pab.success
+
+    def test_pab_node_works_close(self):
+        sc = Scenario.river(range_m=10.0)
+        pab = simulate_trial(sc, node=pab_node(), rng=np.random.default_rng(6),
+                             si_suppression_db=95.0)
+        assert pab.success
+
+    def test_conventional_node_loses_off_axis(self):
+        base = VanAttaArray.uniform(4)
+        # 15 degrees off-broadside: the self-reflecting array decoheres
+        # (~-13 dB) while the Van Atta barely notices; at 200 m the
+        # difference decides the link.
+        sc = Scenario.river(range_m=200.0, node_heading_offset_deg=15.0)
+        va = simulate_trial(sc, rng=np.random.default_rng(8))
+        conv = simulate_trial(
+            sc,
+            node=ConventionalNode(array=base),
+            rng=np.random.default_rng(8),
+        )
+        assert va.success
+        assert not conv.success
+
+    def test_ocean_surface_animation_runs(self):
+        sc = Scenario.ocean(range_m=60.0, sea_state=4)
+        result = simulate_trial(sc, rng=np.random.default_rng(9))
+        assert result.detected
+
+    def test_multipath_channel_still_decodes_short_range(self):
+        # Full image-method channel (default Scenario, not the preset).
+        sc = Scenario(name="multipath-check")
+        result = simulate_trial(sc, rng=np.random.default_rng(10))
+        assert result.detected
+
+
+class TestCampaigns:
+    def test_run_point_aggregates(self):
+        campaign = TrialCampaign(trials_per_point=5, seed=1)
+        point = campaign.run_point(Scenario.river(range_m=50.0))
+        assert point.trials == 5
+        assert point.frame_success_rate == 1.0
+        assert point.ber == 0.0
+
+    def test_campaign_reproducible(self):
+        campaign = TrialCampaign(trials_per_point=4, seed=42)
+        p1 = campaign.run_point(Scenario.river(range_m=380.0))
+        p2 = campaign.run_point(Scenario.river(range_m=380.0))
+        assert p1 == p2
+
+    def test_different_seeds_differ_near_threshold(self):
+        sc = Scenario.river(range_m=400.0)
+        p1 = TrialCampaign(trials_per_point=6, seed=1).run_point(sc)
+        p2 = TrialCampaign(trials_per_point=6, seed=2).run_point(sc)
+        # Not a strict requirement at every range, but near threshold the
+        # two seeds should not produce bit-identical mean SNR.
+        assert p1.mean_snr_db != p2.mean_snr_db
+
+    def test_run_campaign_over_sweep(self):
+        scenarios = sweep_range(Scenario.river(), [30.0, 60.0])
+        result = run_campaign(scenarios, TrialCampaign(trials_per_point=3, seed=5),
+                              label="smoke")
+        assert result.label == "smoke"
+        assert len(result.points) == 2
+        assert result.total_trials == 6
+
+    def test_ber_degrades_with_range(self):
+        scenarios = sweep_range(Scenario.river(), [50.0, 600.0])
+        result = run_campaign(scenarios, TrialCampaign(trials_per_point=5, seed=6))
+        assert result.points[0].ber < result.points[1].ber
+
+    def test_max_range_at_ber(self):
+        result = CampaignResult(label="x")
+        result.add(BERPoint(50.0, 0.0, 10, 0.0, 1.0, 1.0, 30.0))
+        result.add(BERPoint(150.0, 0.0, 10, 5e-4, 1.0, 1.0, 15.0))
+        result.add(BERPoint(400.0, 0.0, 10, 0.2, 0.1, 0.5, 3.0))
+        assert result.max_range_at_ber(1e-3) == 150.0
+
+    def test_as_rows(self):
+        result = CampaignResult(label="x")
+        result.add(BERPoint(50.0, 0.0, 2, 0.0, 1.0, 1.0, 30.0))
+        rows = result.as_rows()
+        assert rows[0]["range_m"] == 50.0
+        assert rows[0]["trials"] == 2
+
+    def test_point_from_trials_requires_data(self):
+        with pytest.raises(ValueError):
+            BERPoint.from_trials([])
+
+    def test_point_from_trials_undetected(self):
+        t = TrialResult(False, False, 0.5, -math.inf, 10.0, 0.0, 64)
+        point = BERPoint.from_trials([t, t])
+        assert point.detection_rate == 0.0
+        assert point.mean_snr_db == -math.inf
+        assert point.ber == 0.5

@@ -1,0 +1,124 @@
+"""Tests for array geometry, pairing, and polarity schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vanatta.array import VanAttaArray, linear_positions, mirror_pairs
+from repro.vanatta.polarity import (
+    PairingScheme,
+    coherence_loss_db,
+    pair_phase_errors,
+)
+
+
+class TestPositions:
+    def test_centred(self):
+        pos = linear_positions(4, 0.04)
+        assert pos.sum() == pytest.approx(0.0)
+
+    def test_uniform_pitch(self):
+        pos = linear_positions(5, 0.04)
+        np.testing.assert_allclose(np.diff(pos), 0.04)
+
+    def test_single_element_at_origin(self):
+        assert linear_positions(1, 0.04)[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_positions(0, 0.04)
+        with pytest.raises(ValueError):
+            linear_positions(4, -1.0)
+
+
+class TestMirrorPairs:
+    def test_even_count(self):
+        assert mirror_pairs(4) == [(0, 3), (1, 2)]
+
+    def test_odd_count_self_pairs_centre(self):
+        pairs = mirror_pairs(5)
+        assert (2, 2) in pairs
+        assert len(pairs) == 3
+
+    @given(st.integers(min_value=1, max_value=32))
+    def test_every_element_exactly_once(self, n):
+        seen = []
+        for a, b in mirror_pairs(n):
+            seen.append(a)
+            if a != b:
+                seen.append(b)
+        assert sorted(seen) == list(range(n))
+
+
+class TestVanAttaArray:
+    def test_uniform_default_half_wavelength(self):
+        arr = VanAttaArray.uniform(4, frequency_hz=18_500.0, sound_speed=1480.0)
+        lam = 1480.0 / 18_500.0
+        assert arr.spacing_m == pytest.approx(lam / 2.0)
+
+    def test_mirror_symmetry(self):
+        assert VanAttaArray.uniform(4).is_mirror_symmetric()
+        assert VanAttaArray.uniform(5).is_mirror_symmetric()
+
+    def test_aperture(self):
+        arr = VanAttaArray.uniform(4, spacing_m=0.04)
+        assert arr.aperture_m == pytest.approx(0.12)
+
+    def test_counts(self):
+        arr = VanAttaArray.uniform(6)
+        assert arr.num_elements == 6
+        assert arr.num_pairs == 3
+
+    def test_rejects_duplicate_membership(self):
+        with pytest.raises(ValueError):
+            VanAttaArray(
+                positions_m=linear_positions(4, 0.04), pairs=((0, 3), (1, 3))
+            )
+
+    def test_rejects_unpaired_elements(self):
+        with pytest.raises(ValueError):
+            VanAttaArray(positions_m=linear_positions(4, 0.04), pairs=((0, 3),))
+
+    def test_rejects_out_of_range_pairs(self):
+        with pytest.raises(ValueError):
+            VanAttaArray(positions_m=linear_positions(2, 0.04), pairs=((0, 5),))
+
+    def test_line_gain_from_loss(self):
+        arr = VanAttaArray.uniform(4)
+        assert arr.line_gain() == pytest.approx(10 ** (-arr.line_loss_db / 20))
+
+    def test_cross_polarity_phases_zero(self):
+        arr = VanAttaArray.uniform(4, pairing=PairingScheme.CROSS_POLARITY)
+        np.testing.assert_allclose(arr.pair_phases(), 0.0)
+
+    def test_direct_pairing_alternates_pi(self):
+        arr = VanAttaArray.uniform(8, pairing=PairingScheme.DIRECT)
+        phases = arr.pair_phases()
+        np.testing.assert_allclose(phases, [0, np.pi, 0, np.pi])
+
+
+class TestPolarity:
+    def test_cross_polarity_no_loss(self):
+        errors = pair_phase_errors(4, PairingScheme.CROSS_POLARITY)
+        assert coherence_loss_db(errors) == pytest.approx(0.0)
+
+    def test_direct_pairing_costly(self):
+        errors = pair_phase_errors(4, PairingScheme.DIRECT)
+        # Two pairs cancel the other two: total decoherence.
+        assert coherence_loss_db(errors) > 20.0
+
+    def test_random_pairing_lossy_but_reproducible(self):
+        e1 = pair_phase_errors(6, PairingScheme.RANDOM, seed=3)
+        e2 = pair_phase_errors(6, PairingScheme.RANDOM, seed=3)
+        np.testing.assert_array_equal(e1, e2)
+        assert coherence_loss_db(e1) > 0.5
+
+    def test_empty_is_lossless(self):
+        assert coherence_loss_db(np.zeros(0)) == 0.0
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20)
+    def test_loss_nonnegative(self, n):
+        for scheme in PairingScheme:
+            errors = pair_phase_errors(n, scheme)
+            assert coherence_loss_db(errors) >= -1e-9

@@ -1,0 +1,161 @@
+"""Tests for the planar (2-D) Van Atta array."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.piezo.transducer import Transducer
+from repro.vanatta.planar import (
+    PlanarVanAttaArray,
+    direction_cosines,
+    grid_positions,
+    planar_monostatic_gain,
+    planar_monostatic_gain_db,
+    planar_response,
+    point_mirror_pairs,
+)
+from repro.vanatta.polarity import PairingScheme
+
+F = 18_500.0
+C = 1500.0
+
+
+def ideal_planar(nu=2, nw=2):
+    base = PlanarVanAttaArray.uniform(nu, nw, frequency_hz=F, sound_speed=C)
+    return PlanarVanAttaArray(
+        positions_m=base.positions_m,
+        pairs=base.pairs,
+        element=Transducer(elevation_rolloff_exponent=0.0),
+        line_loss_db=0.0,
+    )
+
+
+class TestGeometry:
+    def test_grid_centred(self):
+        pos = grid_positions(3, 2, 0.04)
+        np.testing.assert_allclose(pos.mean(axis=0), [0.0, 0.0], atol=1e-12)
+        assert pos.shape == (6, 2)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            grid_positions(0, 2, 0.04)
+        with pytest.raises(ValueError):
+            grid_positions(2, 2, -0.1)
+
+    def test_point_mirror_pairs_cover_all(self):
+        pos = grid_positions(2, 2, 0.04)
+        pairs = point_mirror_pairs(pos)
+        members = sorted(m for p in pairs for m in set(p))
+        assert members == [0, 1, 2, 3]
+
+    def test_odd_grid_self_pairs_centre(self):
+        pos = grid_positions(3, 3, 0.04)
+        pairs = point_mirror_pairs(pos)
+        self_pairs = [p for p in pairs if p[0] == p[1]]
+        assert len(self_pairs) == 1
+
+    def test_asymmetric_layout_rejected(self):
+        pos = np.array([[0.0, 0.0], [0.04, 0.0], [0.08, 0.0]])
+        with pytest.raises(ValueError):
+            point_mirror_pairs(pos)
+
+    def test_uniform_is_point_symmetric(self):
+        assert PlanarVanAttaArray.uniform(2, 2).is_point_symmetric()
+        assert PlanarVanAttaArray.uniform(3, 3).is_point_symmetric()
+
+    def test_pair_validation(self):
+        pos = grid_positions(2, 2, 0.04)
+        with pytest.raises(ValueError):
+            PlanarVanAttaArray(positions_m=pos, pairs=((0, 3), (1, 1)))
+
+    def test_direction_cosines_broadside(self):
+        np.testing.assert_allclose(direction_cosines(0.0, 0.0), [0.0, 0.0])
+
+    def test_direction_cosines_bounds(self):
+        d = direction_cosines(45.0, 30.0)
+        assert np.linalg.norm(d) <= 1.0
+
+
+class TestRetrodirectivity2D:
+    @given(
+        st.floats(min_value=-70.0, max_value=70.0),
+        st.floats(min_value=-70.0, max_value=70.0),
+    )
+    @settings(max_examples=40)
+    def test_monostatic_gain_flat_in_both_planes(self, az, el):
+        """The 2-D core property: gain = N at any (azimuth, elevation)."""
+        arr = ideal_planar(2, 2)
+        gain = abs(planar_monostatic_gain(arr, F, az, el, C))
+        assert gain == pytest.approx(4.0, rel=1e-9)
+
+    def test_larger_grid_scales(self):
+        for nu, nw in ((2, 2), (2, 4), (4, 4)):
+            arr = ideal_planar(nu, nw)
+            gain = abs(planar_monostatic_gain(arr, F, 25.0, -15.0, C))
+            assert gain == pytest.approx(nu * nw, rel=1e-9)
+
+    def test_odd_grid_retrodirective(self):
+        arr = ideal_planar(3, 3)
+        gain = abs(planar_monostatic_gain(arr, F, 33.0, 12.0, C))
+        assert gain == pytest.approx(9.0, rel=1e-9)
+
+    def test_reduces_to_linear_in_azimuth(self):
+        from repro.vanatta.array import VanAttaArray
+        from repro.vanatta.retrodirective import monostatic_gain
+
+        planar = ideal_planar(4, 1)
+        base = VanAttaArray.uniform(4, frequency_hz=F, sound_speed=C)
+        linear = VanAttaArray(
+            positions_m=base.positions_m,
+            pairs=base.pairs,
+            element=Transducer(elevation_rolloff_exponent=0.0),
+            line_loss_db=0.0,
+        )
+        for theta in (0.0, 20.0, 45.0):
+            g2d = abs(planar_monostatic_gain(planar, F, theta, 0.0, C))
+            g1d = abs(monostatic_gain(linear, F, theta, C))
+            assert g2d == pytest.approx(g1d, rel=1e-9)
+
+    def test_linear_array_not_retrodirective_in_elevation(self):
+        """The motivation for the 2-D array: a horizontal line of elements
+        pairs only across u, so elevation phase is *repeated* (u_w = 0
+        aperture) — but a vertical tilt still steals element gain and,
+        for a vertical-aperture array, decoheres. Check the contrast:
+        a 1 x 4 vertical array paired point-mirror retrodirects in
+        elevation, while the same column self-paired does not."""
+        vertical = ideal_planar(1, 4)
+        g = abs(planar_monostatic_gain(vertical, F, 0.0, 40.0, C))
+        assert g == pytest.approx(4.0, rel=1e-9)
+
+    def test_bistatic_reciprocity(self):
+        arr = ideal_planar(2, 2)
+        a = planar_response(arr, F, 10.0, 20.0, -30.0, 5.0, C)
+        b = planar_response(arr, F, -30.0, 5.0, 10.0, 20.0, C)
+        assert a == pytest.approx(b)
+
+    def test_direct_pairing_decoheres(self):
+        base = PlanarVanAttaArray.uniform(2, 2, frequency_hz=F, sound_speed=C)
+        bad = PlanarVanAttaArray(
+            positions_m=base.positions_m,
+            pairs=base.pairs,
+            element=Transducer(elevation_rolloff_exponent=0.0),
+            pairing=PairingScheme.DIRECT,
+            line_loss_db=0.0,
+        )
+        assert abs(planar_monostatic_gain(bad, F, 0.0, 0.0, C)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_db_form(self):
+        arr = ideal_planar(2, 2)
+        assert planar_monostatic_gain_db(arr, F, 15.0, 15.0, C) == pytest.approx(
+            20 * math.log10(4.0), abs=1e-6
+        )
+
+    def test_element_rolloff_applies(self):
+        arr = PlanarVanAttaArray.uniform(2, 2, frequency_hz=F, sound_speed=C)
+        g0 = planar_monostatic_gain_db(arr, F, 0.0, 0.0, C)
+        g_tilt = planar_monostatic_gain_db(arr, F, 0.0, 60.0, C)
+        assert g0 - g_tilt > 2.0

@@ -1,0 +1,96 @@
+"""Tests for the wideband system-response analysis."""
+
+import numpy as np
+import pytest
+
+from repro.piezo.bvd import BVDModel
+from repro.vanatta.array import VanAttaArray
+from repro.vanatta.wideband import (
+    max_chip_rate_for_bandwidth,
+    system_response,
+    usable_bandwidth_hz,
+)
+
+F0 = 18_500.0
+
+
+def make_response(q_factor=18.0, theta=0.0):
+    bvd = BVDModel.from_resonance(F0, q_factor=q_factor)
+    array = VanAttaArray.uniform(4, frequency_hz=F0, sound_speed=1480.0)
+    freqs = np.linspace(0.85 * F0, 1.15 * F0, 201)
+    return system_response(array, bvd, freqs, theta_deg=theta, sound_speed=1480.0)
+
+
+class TestSystemResponse:
+    def test_peak_near_resonance(self):
+        r = make_response()
+        peak_f = r.frequencies_hz[int(np.argmax(r.total_db))]
+        assert peak_f == pytest.approx(F0, rel=0.02)
+
+    def test_total_normalised_to_zero_peak(self):
+        r = make_response()
+        assert r.total_db.max() == pytest.approx(0.0)
+
+    def test_element_rolls_off_both_sides(self):
+        r = make_response()
+        assert r.element_db[0] < -6.0
+        assert r.element_db[-1] < -6.0
+
+    def test_depth_degrades_off_design(self):
+        r = make_response()
+        centre = int(np.argmax(r.total_db))
+        assert r.depth_db[0] < r.depth_db[centre] + 0.1
+
+    def test_array_gain_flat_across_band(self):
+        # Retrodirectivity is geometry-frequency-forgiving near f0: the
+        # mirror-pair conjugation holds exactly at every frequency.
+        r = make_response(theta=25.0)
+        assert r.array_db.max() - r.array_db.min() < 1.5
+
+    def test_needs_grid(self):
+        bvd = BVDModel.vab_element()
+        arr = VanAttaArray.uniform(4)
+        with pytest.raises(ValueError):
+            system_response(arr, bvd, [F0])
+
+
+class TestBandwidth:
+    def test_bandwidth_positive_and_sub_resonance(self):
+        bw = usable_bandwidth_hz(BVDModel.from_resonance(F0, q_factor=18.0))
+        assert 200.0 < bw < F0
+
+    def test_higher_q_narrower(self):
+        wide = usable_bandwidth_hz(BVDModel.from_resonance(F0, q_factor=8.0))
+        narrow = usable_bandwidth_hz(BVDModel.from_resonance(F0, q_factor=40.0))
+        assert narrow < wide
+
+    def test_bandwidth_tracks_fs_over_q_scale(self):
+        q = 18.0
+        bw = usable_bandwidth_hz(BVDModel.from_resonance(F0, q_factor=q))
+        # Composite (element^2 x depth) is tighter than the raw fs/Q
+        # electrical bandwidth but within a small factor of it.
+        assert F0 / q / 6.0 < bw < F0 / q * 2.0
+
+    def test_drop_level_widens_band(self):
+        bvd = BVDModel.from_resonance(F0, q_factor=18.0)
+        bw3 = usable_bandwidth_hz(bvd, drop_db=3.0)
+        bw10 = usable_bandwidth_hz(bvd, drop_db=10.0)
+        assert bw10 > bw3
+
+    def test_supports_design_chip_rate(self):
+        """The default 2 kchip/s PHY must fit the default element's band
+        (at a relaxed 6 dB drop) — the self-consistency check between the
+        piezo model and the PHY defaults."""
+        bw = usable_bandwidth_hz(BVDModel.vab_element(), drop_db=6.0)
+        assert max_chip_rate_for_bandwidth(bw) >= 900.0
+
+
+class TestChipRate:
+    def test_simple_mapping(self):
+        assert max_chip_rate_for_bandwidth(4_000.0, rolloff=1.0) == 2_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_chip_rate_for_bandwidth(0.0)
+        with pytest.raises(ValueError):
+            max_chip_rate_for_bandwidth(1_000.0, rolloff=-0.5)

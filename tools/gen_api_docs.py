@@ -1,0 +1,63 @@
+"""Regenerate docs/API.md from the package's public (`__all__`) surface.
+
+Run from the repository root:  python tools/gen_api_docs.py
+"""
+
+import importlib
+import inspect
+from pathlib import Path
+
+PACKAGES = [
+    "repro.core",
+    "repro.geometry",
+    "repro.acoustics",
+    "repro.dsp",
+    "repro.piezo",
+    "repro.vanatta",
+    "repro.phy",
+    "repro.link",
+    "repro.sim",
+    "repro.baselines",
+]
+
+
+def first_doc_line(obj) -> str:
+    """First docstring line, empty when undocumented."""
+    if not obj.__doc__:
+        return ""
+    return obj.__doc__.strip().split("\n")[0]
+
+
+def build() -> str:
+    """Assemble the markdown document."""
+    lines = [
+        "# API index",
+        "",
+        "Auto-generated from the package's public (`__all__`) surface.",
+        "Regenerate with `python tools/gen_api_docs.py`.",
+        "",
+    ]
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        lines.append(f"## `{name}`")
+        lines.append("")
+        doc = (module.__doc__ or "").strip().split("\n\n")[0].replace("\n", " ")
+        if doc:
+            lines.extend([doc, ""])
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol, None)
+            if obj is None:
+                continue
+            kind = (
+                "class" if inspect.isclass(obj)
+                else "function" if callable(obj)
+                else "constant"
+            )
+            lines.append(f"- **`{symbol}`** ({kind}) — {first_doc_line(obj)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    Path("docs/API.md").write_text(build())
+    print("wrote docs/API.md")
