@@ -146,14 +146,27 @@ class ChannelResponse:
                 _add_delayed(out, signal, (delay_s - base_delay) * fs, gain)
             return out
 
+        # Animated taps, vectorized: a tap's *delay* is fixed — only its
+        # gain wanders block to block — so instead of adding every
+        # (block, tap) chunk separately, build the per-sample gain profile
+        # of each tap (block-constant, via np.repeat) and add the whole
+        # gain-modulated signal at the tap's offset in one shot.
         block = max(int(block_s * fs), 1)
-        for start in range(0, len(signal), block):
-            chunk = signal[start : start + block]
-            t = start_time_s + start / fs
-            for delay_s, gain in self.baseband_taps(t):
+        starts = np.arange(0, len(signal), block)
+        times = start_time_s + starts / fs
+        k = 2.0 * math.pi * self.carrier_hz / self.sound_speed
+        displacement = np.array([self.surface.displacement(t) for t in times])
+        for p in self.paths:
+            if p.surface_bounces > 0:
+                grazing = math.radians(abs(p.arrival_deg)) or 0.1
+                dl = 2.0 * p.surface_bounces * displacement * math.sin(grazing)
+                block_gains = p.gain * np.exp(-1j * k * dl)
+                gains = np.repeat(block_gains, block)[: len(signal)]
                 _add_delayed(
-                    out, chunk, (delay_s - base_delay) * fs + start, gain
+                    out, gains * signal, (p.delay_s - base_delay) * fs, 1.0
                 )
+            else:
+                _add_delayed(out, signal, (p.delay_s - base_delay) * fs, p.gain)
         return out
 
 

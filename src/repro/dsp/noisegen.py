@@ -4,13 +4,54 @@ The waveform simulator needs ambient noise whose in-band power matches the
 Wenz level computed by :mod:`repro.acoustics.noise`, with approximately the
 right spectral tilt across the receiver band. Noise is generated in the
 frequency domain: complex white Gaussian bins shaped by the target PSD.
+
+The PSD shaping amplitude depends only on ``(n, fs, carrier_hz, psd)`` —
+it is identical for every trial of a Monte-Carlo point — so it is
+memoized here (see :func:`clear_noise_cache`). Campaigns that used to
+spend ~80% of each trial re-evaluating the Wenz curves per FFT bin now
+pay for the shaping filter once per operating point.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
 
 import numpy as np
+
+_SHAPE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_SHAPE_CACHE_MAX = 64
+_CACHE_ENABLED = True
+_FORCE_POINTWISE = False
+"""When True, evaluate the PSD per frequency in Python (the pre-cache
+seed behaviour) — kept so the perf harness can measure an honest
+baseline. See :func:`tools.bench_perf`."""
+
+
+def set_noise_cache_enabled(enabled: bool) -> bool:
+    """Enable/disable the shaping-filter cache; returns the old state."""
+    global _CACHE_ENABLED
+    old = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return old
+
+
+def set_pointwise_psd(forced: bool) -> bool:
+    """Force per-frequency Python PSD evaluation (baseline emulation)."""
+    global _FORCE_POINTWISE
+    old = _FORCE_POINTWISE
+    _FORCE_POINTWISE = bool(forced)
+    return old
+
+
+def clear_noise_cache() -> None:
+    """Explicitly invalidate the memoized PSD shaping filters."""
+    _SHAPE_CACHE.clear()
+
+
+def noise_cache_info() -> Tuple[int, int]:
+    """(entries, capacity) of the shaping-filter cache."""
+    return len(_SHAPE_CACHE), _SHAPE_CACHE_MAX
 
 
 def white_noise(
@@ -32,6 +73,77 @@ def white_noise(
         scale = np.sqrt(power / 2.0)
         return scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
     return np.sqrt(power) * rng.standard_normal(n)
+
+
+def _psd_fn_cache_key(psd_db_fn: Callable[[float], float]):
+    """A hashable identity for a PSD callable, or None when uncachable.
+
+    Bound methods of value-type objects (e.g. ``NoiseConditions.psd_db``)
+    compare by instance *identity*, which would defeat the cache across
+    equal-but-distinct scenario objects — so key on ``(func, self)``
+    where ``self`` hashes by value.
+    """
+    bound_self = getattr(psd_db_fn, "__self__", None)
+    if bound_self is not None:
+        try:
+            hash(bound_self)
+        except TypeError:
+            return None
+        return (getattr(psd_db_fn, "__func__", psd_db_fn), bound_self)
+    try:
+        hash(psd_db_fn)
+    except TypeError:
+        return None
+    return psd_db_fn
+
+
+def _evaluate_psd_db(
+    psd_db_fn: Callable[[float], float], abs_freqs: np.ndarray
+) -> np.ndarray:
+    """PSD in dB at each frequency, vectorized when the callable allows.
+
+    Callables exposing a vectorized form (``psd_db_array`` attribute on
+    the bound object, e.g. :class:`repro.acoustics.noise.NoiseConditions`)
+    or natively accepting arrays are evaluated in one shot; anything else
+    falls back to the per-frequency loop.
+    """
+    clamped = np.maximum(abs_freqs, 1.0)
+    if not _FORCE_POINTWISE:
+        bound_self = getattr(psd_db_fn, "__self__", None)
+        array_fn = getattr(bound_self, "psd_db_array", None)
+        if array_fn is not None:
+            return np.asarray(array_fn(clamped), dtype=np.float64)
+        try:
+            out = np.asarray(psd_db_fn(clamped), dtype=np.float64)
+            if out.shape == clamped.shape:
+                return out
+        except Exception:
+            pass
+    return np.array([psd_db_fn(float(f)) for f in clamped], dtype=np.float64)
+
+
+def _shaping_amplitude(
+    n: int, fs: float, psd_db_fn: Callable[[float], float], carrier_hz: float
+) -> np.ndarray:
+    """Per-bin amplitude scale sqrt(PSD * fs / 2), memoized when possible."""
+    key = None
+    if _CACHE_ENABLED:
+        fn_key = _psd_fn_cache_key(psd_db_fn)
+        if fn_key is not None:
+            key = (fn_key, n, float(fs), float(carrier_hz))
+            cached = _SHAPE_CACHE.get(key)
+            if cached is not None:
+                _SHAPE_CACHE.move_to_end(key)
+                return cached
+    freqs = np.fft.fftfreq(n, d=1.0 / fs)
+    psd_linear = 10.0 ** (_evaluate_psd_db(psd_db_fn, carrier_hz + freqs) / 10.0)
+    amplitude = np.sqrt(psd_linear * fs / 2.0)
+    amplitude.setflags(write=False)
+    if key is not None:
+        _SHAPE_CACHE[key] = amplitude
+        if len(_SHAPE_CACHE) > _SHAPE_CACHE_MAX:
+            _SHAPE_CACHE.popitem(last=False)
+    return amplitude
 
 
 def colored_noise(
@@ -63,14 +175,9 @@ def colored_noise(
         return np.zeros(0, dtype=np.complex128)
     if rng is None:
         rng = np.random.default_rng()
-    freqs = np.fft.fftfreq(n, d=1.0 / fs)
-    abs_freqs = carrier_hz + freqs
-    psd_linear = np.array(
-        [10.0 ** (psd_db_fn(float(max(f, 1.0))) / 10.0) for f in abs_freqs]
-    )
     # Bin amplitude: each FFT bin spans fs/n Hz of PSD; synthesise unit
     # white bins then scale so E[|x[t]|^2] = integral of PSD.
     bins = rng.standard_normal(n) + 1j * rng.standard_normal(n)
-    bins *= np.sqrt(psd_linear * fs / 2.0)
+    bins *= _shaping_amplitude(n, fs, psd_db_fn, carrier_hz)
     noise = np.fft.ifft(bins) * np.sqrt(n)
     return noise.astype(np.complex128)

@@ -29,7 +29,7 @@ def bits_to_bytes(bits: Sequence[int]) -> bytes:
     bits = np.asarray(list(bits), dtype=np.int64)
     if bits.size % 8 != 0:
         raise ValueError(f"bit count {bits.size} is not a multiple of 8")
-    if bits.size and not np.isin(bits, (0, 1)).all():
+    if bits.size and not ((bits == 0) | (bits == 1)).all():
         raise ValueError("bits must be 0/1")
     if bits.size == 0:
         return b""

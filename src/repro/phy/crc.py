@@ -18,7 +18,7 @@ _INIT = 0xFFFF
 def crc16_ccitt(bits: Sequence[int]) -> np.ndarray:
     """CRC-16/CCITT-FALSE of a bit sequence, returned as 16 bits (MSB first)."""
     bits = np.asarray(list(bits), dtype=np.int64)
-    if bits.size and not np.isin(bits, (0, 1)).all():
+    if bits.size and not ((bits == 0) | (bits == 1)).all():
         raise ValueError("bits must be 0/1")
     crc = _INIT
     for b in bits:

@@ -64,7 +64,7 @@ class FECScheme(enum.Enum):
 
 def _as_bits(bits: Sequence[int]) -> np.ndarray:
     arr = np.asarray(list(bits), dtype=np.int64)
-    if arr.size and not np.isin(arr, (0, 1)).all():
+    if arr.size and not ((arr == 0) | (arr == 1)).all():
         raise ValueError("bits must be 0/1")
     return arr
 

@@ -11,6 +11,7 @@ phase reference for coherent slicing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -21,17 +22,25 @@ BARKER13 = np.array([1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1], dtype=np.int64)
 """The length-13 Barker code (as 0/1 chips)."""
 
 
+@lru_cache(maxsize=16)
 def preamble_chips(repeats: int = 2) -> np.ndarray:
     """The frame preamble: ``repeats`` Barker-13 codes back to back.
 
     Two repeats (26 chips) is the default: long enough for a -3 dB-SNR
     detection, short enough to cost only ~26 ms at 1 kchip/s.
+
+    The returned array is memoized and marked read-only — every frame
+    build and every demodulation asks for the same pattern, so it is
+    built once per (repeats), not once per trial.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    return np.tile(BARKER13, repeats)
+    chips = np.tile(BARKER13, repeats)
+    chips.setflags(write=False)
+    return chips
 
 
+@lru_cache(maxsize=32)
 def preamble_template(
     samples_per_chip: int, repeats: int = 2, depth: float = 1.0
 ) -> np.ndarray:
@@ -39,13 +48,15 @@ def preamble_template(
 
     Zero-mean because the receiver strips DC before correlating; the
     template must live in the same subspace or the correlation peak
-    shifts.
+    shifts. Memoized (read-only) like :func:`preamble_chips`.
     """
     chips = preamble_chips(repeats)
     # Barker-13 is unbalanced (9 ones / 4 zeros): subtract the true mean,
     # not 0.5, or the template leaks into the suppressed-DC subspace.
     levels = (chips.astype(np.float64) - chips.mean()) * depth
-    return np.repeat(levels, samples_per_chip)
+    template = np.repeat(levels, samples_per_chip)
+    template.setflags(write=False)
+    return template
 
 
 @dataclass(frozen=True)

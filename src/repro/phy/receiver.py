@@ -110,6 +110,28 @@ class ReaderReceiver:
     def __post_init__(self) -> None:
         self.sps = symbol_samples(self.fs, self.chip_rate)
 
+    @classmethod
+    def for_scenario(
+        cls, scenario, frame_config: Optional[FrameConfig] = None, **overrides
+    ) -> "ReaderReceiver":
+        """The default receive chain for a scenario's rates.
+
+        This is the single construction path campaigns use to hoist the
+        receiver out of the per-trial loop: build it once per operating
+        point, reuse it for every trial (the chain is stateless across
+        :meth:`demodulate` calls). ``scenario`` only needs ``fs`` and
+        ``chip_rate`` attributes; ``overrides`` forward to the
+        constructor (e.g. ``equalizer_taps=24``).
+        """
+        if frame_config is None:
+            frame_config = FrameConfig()
+        return cls(
+            fs=scenario.fs,
+            chip_rate=scenario.chip_rate,
+            frame_config=frame_config,
+            **overrides,
+        )
+
     # -- stages -------------------------------------------------------------
 
     def suppress_carrier(self, record: np.ndarray) -> np.ndarray:
@@ -193,27 +215,32 @@ class ReaderReceiver:
         else:
             phase = initial_phase
         feedback = feedback_taps or {}
-        max_delay = max(feedback, default=0)
+        feedback_items = list(feedback.items())
         decided = np.zeros(len(dumps))
         amplitude = 0.0  # running estimate of the eye half-opening
         soft = np.empty(len(dumps))
-        for i, dump in enumerate(dumps):
-            rotated = dump * complex(math.cos(-phase), math.sin(-phase))
-            if feedback:
+        # Hot loop of the whole receive chain (runs per chip, per timing
+        # candidate) — bind everything loop-invariant to locals.
+        loop_gain = self.phase_loop_gain
+        cos, sin, atan2 = math.cos, math.sin, math.atan2
+        dump_list = dumps.tolist()
+        for i, dump in enumerate(dump_list):
+            rotated = dump * complex(cos(-phase), sin(-phase))
+            if feedback_items:
                 isi = 0.0 + 0.0j
-                for delay, tap in feedback.items():
+                for delay, tap in feedback_items:
                     j = i - delay
                     if j >= 0:
                         isi += tap * decided[j]
                 rotated = rotated - isi
-            soft[i] = rotated.real
-            decision = 1.0 if rotated.real >= 0 else -1.0
-            amplitude += (abs(rotated.real) - amplitude) / (i + 1)
+            real = rotated.real
+            soft[i] = real
+            decision = 1.0 if real >= 0 else -1.0
+            amplitude += (abs(real) - amplitude) / (i + 1)
             decided[i] = decision * amplitude
-            __ = max_delay
-            if self.phase_loop_gain > 0 and abs(rotated) > 0:
-                err = math.atan2(rotated.imag * decision, abs(rotated.real) + 1e-30)
-                phase += self.phase_loop_gain * err
+            if loop_gain > 0 and (real != 0.0 or rotated.imag != 0.0):
+                err = atan2(rotated.imag * decision, abs(real) + 1e-30)
+                phase += loop_gain * err
         return soft
 
     # -- top level ------------------------------------------------------------

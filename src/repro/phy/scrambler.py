@@ -27,7 +27,7 @@ SCRAMBLER_SEED = 0b1011011
 def scramble(bits: Sequence[int]) -> np.ndarray:
     """XOR bits with the frame-aligned PN sequence."""
     bits = np.asarray(list(bits), dtype=np.int64)
-    if bits.size and not np.isin(bits, (0, 1)).all():
+    if bits.size and not ((bits == 0) | (bits == 1)).all():
         raise ValueError("bits must be 0/1")
     pn = pn_sequence(bits.size, taps=SCRAMBLER_TAPS, seed=SCRAMBLER_SEED)
     return bits ^ pn

@@ -10,7 +10,10 @@ Two complementary fidelities:
   for BER-vs-range campaigns, where sync, phase tracking, and multipath
   actually bite.
 
-:mod:`repro.sim.trials` runs seeded Monte-Carlo campaigns over either.
+:mod:`repro.sim.trials` runs seeded Monte-Carlo campaigns over either,
+and :mod:`repro.sim.parallel` fans their trials out across worker
+processes (bit-identical to the serial runner) with per-point invariants
+memoized by :mod:`repro.sim.cache`.
 """
 
 from repro.sim.scenario import Scenario
@@ -19,7 +22,15 @@ from repro.sim.engine import TrialResult, simulate_trial
 from repro.sim.downlink import DownlinkResult, simulate_downlink
 from repro.sim.multinode import MultiNodeResult, NodePlacement, simulate_slot
 from repro.sim.trials import TrialCampaign, run_campaign
-from repro.sim.sweep import sweep_range, sweep_angles
+from repro.sim.parallel import run_campaign_parallel, default_workers
+from repro.sim.cache import (
+    channel_cache_info,
+    clear_channel_cache,
+    reader_node_response,
+    set_channel_cache_enabled,
+)
+from repro.sim.profiling import StageTimings, collect_stage_timings
+from repro.sim.sweep import sweep_range, sweep_angles, sweep_grid
 from repro.sim.results import BERPoint, CampaignResult
 from repro.sim.confidence import (
     ProportionEstimate,
@@ -41,8 +52,17 @@ __all__ = [
     "simulate_slot",
     "TrialCampaign",
     "run_campaign",
+    "run_campaign_parallel",
+    "default_workers",
+    "reader_node_response",
+    "clear_channel_cache",
+    "channel_cache_info",
+    "set_channel_cache_enabled",
+    "StageTimings",
+    "collect_stage_timings",
     "sweep_range",
     "sweep_angles",
+    "sweep_grid",
     "BERPoint",
     "CampaignResult",
     "ProportionEstimate",

@@ -23,12 +23,15 @@ from typing import Optional
 
 import numpy as np
 
+from repro.acoustics.channel import ChannelResponse
 from repro.acoustics.doppler import apply_doppler
 from repro.dsp.noisegen import colored_noise, white_noise
 from repro.phy.ber import ber as ber_of
 from repro.phy.bits import bits_from_bytes
 from repro.phy.frame import FrameConfig, build_frame
 from repro.phy.receiver import DemodResult, ReaderReceiver
+from repro.sim.cache import reader_node_response
+from repro.sim.profiling import stage
 from repro.sim.scenario import Scenario
 from repro.vanatta.node import VanAttaNode
 
@@ -79,6 +82,7 @@ def simulate_trial(
     si_suppression_db: Optional[float] = 130.0,
     system_noise_figure_db: float = 10.0,
     include_noise: bool = True,
+    response: Optional[ChannelResponse] = None,
 ) -> TrialResult:
     """Simulate one uplink frame end to end.
 
@@ -97,6 +101,10 @@ def simulate_trial(
         system_noise_figure_db: receiver noise figure applied on top of
             the ambient Wenz level (hydrophone preamp and ADC noise).
         include_noise: disable to get a noise-free functional check.
+        response: precomputed reader->node multipath response. Campaigns
+            hoist this out of the trial loop (it is a per-point
+            invariant); omitted, it is fetched from the process-local
+            channel cache.
 
     Returns:
         The scored trial.
@@ -124,58 +132,62 @@ def simulate_trial(
     # --- propagate: reader -> node ---
     amplitude_tx = 10.0 ** (scenario.source_level_db / 20.0)
     n_samples = len(modulation)
-    tx = np.full(n_samples, amplitude_tx, dtype=np.complex128)
-    response = scenario.channel().between(
-        scenario.reader.position, scenario.node.position
-    )
-    incident = response.apply(tx, fs, start_time_s=0.0)[:n_samples]
+    with stage("channel"):
+        tx = np.full(n_samples, amplitude_tx, dtype=np.complex128)
+        if response is None:
+            response = reader_node_response(scenario)
+        incident = response.apply(tx, fs, start_time_s=0.0)[:n_samples]
 
     # --- reflect off the modulated array ---
-    reflected = node.reflect(
-        incident, modulation, scenario.carrier_hz, theta, scenario.water.sound_speed
-    )
-
-    # --- propagate back: node -> reader (surface animation continues) ---
-    received = response.apply(
-        reflected, fs, start_time_s=response.direct_path.delay_s
-    )[:n_samples]
-
-    # Platform drift Doppler on the round trip (boat swing / current);
-    # the backscatter round trip doubles the one-way shift.
-    if scenario.platform_drift_mps:
-        received = apply_doppler(
-            received,
-            fs,
-            scenario.carrier_hz,
-            2.0 * scenario.platform_drift_mps,
+    with stage("reflect"):
+        reflected = node.reflect(
+            incident, modulation, scenario.carrier_hz, theta,
             scenario.water.sound_speed,
         )
+
+    # --- propagate back: node -> reader (surface animation continues) ---
+    with stage("channel"):
+        received = response.apply(
+            reflected, fs, start_time_s=response.direct_path.delay_s
+        )[:n_samples]
+
+        # Platform drift Doppler on the round trip (boat swing / current);
+        # the backscatter round trip doubles the one-way shift.
+        if scenario.platform_drift_mps:
+            received = apply_doppler(
+                received,
+                fs,
+                scenario.carrier_hz,
+                2.0 * scenario.platform_drift_mps,
+                scenario.water.sound_speed,
+            )
 
     # --- reader-side impairments ---
     record = received
     leak = amplitude_tx * 10.0 ** (-si_leak_db / 20.0)
     record = record + leak
     if include_noise:
-        ambient = colored_noise(
-            n_samples, fs, scenario.noise.psd_db, scenario.carrier_hz, rng
-        )
-        record = record + ambient * 10.0 ** (system_noise_figure_db / 20.0)
-        if si_suppression_db is not None:
-            residual_level_db = scenario.source_level_db - si_suppression_db
-            # Residual power spread across the chip bandwidth, then scaled
-            # to the simulated bandwidth so in-band density is right.
-            in_band_power = (10.0 ** (residual_level_db / 20.0)) ** 2
-            total_power = in_band_power * fs / scenario.chip_rate
-            record = record + white_noise(n_samples, total_power, rng)
+        with stage("noise"):
+            ambient = colored_noise(
+                n_samples, fs, scenario.noise.psd_db, scenario.carrier_hz, rng
+            )
+            record = record + ambient * 10.0 ** (system_noise_figure_db / 20.0)
+            if si_suppression_db is not None:
+                residual_level_db = scenario.source_level_db - si_suppression_db
+                # Residual power spread across the chip bandwidth, then
+                # scaled to the simulated bandwidth so in-band density is
+                # right.
+                in_band_power = (10.0 ** (residual_level_db / 20.0)) ** 2
+                total_power = in_band_power * fs / scenario.chip_rate
+                record = record + white_noise(n_samples, total_power, rng)
 
     # --- demodulate and score ---
-    if receiver is None:
-        receiver = ReaderReceiver(
-            fs=fs, chip_rate=scenario.chip_rate, frame_config=frame_config
-        )
-    result = receiver.demodulate(record)
-    sent_bits = bits_from_bytes(bytes(payload))
-    return _score(result, sent_bits, scenario, theta)
+    with stage("demod"):
+        if receiver is None:
+            receiver = ReaderReceiver.for_scenario(scenario, frame_config)
+        result = receiver.demodulate(record)
+        sent_bits = bits_from_bytes(bytes(payload))
+        return _score(result, sent_bits, scenario, theta)
 
 
 def _score(

@@ -25,6 +25,7 @@ import numpy as np
 from repro.dsp.noisegen import colored_noise
 from repro.phy.frame import FrameConfig, build_frame
 from repro.phy.receiver import ReaderReceiver
+from repro.sim.cache import cached_between
 from repro.sim.engine import IDLE_CHIPS_AFTER, IDLE_CHIPS_BEFORE
 from repro.sim.scenario import Scenario
 from repro.vanatta.node import VanAttaNode
@@ -77,11 +78,15 @@ def simulate_slot(
     si_leak_db: float = 40.0,
     system_noise_figure_db: float = 10.0,
     include_noise: bool = True,
+    receiver: Optional[ReaderReceiver] = None,
 ) -> MultiNodeResult:
     """Simulate one listening window with several nodes in the water.
 
     All responding nodes reflect the same carrier; the hydrophone record
-    is the sum of their returns plus leak and ambient noise.
+    is the sum of their returns plus leak and ambient noise. Each node's
+    channel response comes from the process-local cache, so Monte-Carlo
+    sweeps over contention patterns pay for ray tracing once per
+    placement geometry, not once per slot.
 
     Args:
         scenario: environment; each placement overrides the node range.
@@ -91,6 +96,8 @@ def simulate_slot(
         si_leak_db: static carrier leak below the source level.
         system_noise_figure_db: receiver noise figure over ambient.
         include_noise: disable for deterministic functional checks.
+        receiver: reader receive chain; campaigns hoist one across slots
+            (built per call when omitted).
 
     Returns:
         What the reader decoded from the superposition.
@@ -131,7 +138,9 @@ def simulate_slot(
         chips[start : start + len(frame_chips)] = frame_chips
         modulation = p.node.modulation_waveform(chips, sps, fs)
 
-        response = sc.channel().between(sc.reader.position, sc.node.position)
+        response = cached_between(
+            sc.channel(), sc.reader.position, sc.node.position
+        )
         # The node hears the query one propagation delay late; its
         # reflection takes another trip back: its frame lands a full
         # round trip after its own slot clock.
@@ -153,9 +162,8 @@ def simulate_slot(
         )
         record = record + ambient * 10.0 ** (system_noise_figure_db / 20.0)
 
-    receiver = ReaderReceiver(
-        fs=fs, chip_rate=scenario.chip_rate, frame_config=frame_config
-    )
+    if receiver is None:
+        receiver = ReaderReceiver.for_scenario(scenario, frame_config)
     result = receiver.demodulate(record)
     if result.frame is None:
         return MultiNodeResult(None, None, False, transmitting)

@@ -1,0 +1,192 @@
+"""Parallel, cache-warm execution of Monte-Carlo campaigns.
+
+The paper's evidence rests on >1,500 field trials; reproducing that
+statistical weight in simulation means running campaigns orders of
+magnitude larger than the seed's serial loop allowed. This module
+distributes a campaign's trials across a ``ProcessPoolExecutor`` while
+keeping the results **bit-identical** to the serial runner:
+
+* Seeding stays on the ``SeedSequence.spawn`` discipline — trial ``t``
+  of point ``p`` always draws from ``SeedSequence((seed, p)).spawn(n)[t]``
+  regardless of which worker runs it or in what order chunks finish
+  (see :meth:`TrialCampaign.trial_seeds`).
+* Results are re-assembled in trial order before aggregation, so the
+  floating-point reductions in :meth:`BERPoint.from_trials` see the same
+  operand order as the serial loop.
+
+Workers warm their own process-local caches (channel responses, Wenz
+shaping filters), so per-point invariants are computed once per worker,
+not once per trial. ``workers=1`` short-circuits to the in-process
+serial path — no pool, no pickling — which is also the fallback when a
+campaign carries a non-picklable factory.
+
+Example::
+
+    scenarios = sweep_range(Scenario.river(), log_ranges(50, 600, 8))
+    result = run_campaign_parallel(
+        scenarios, TrialCampaign(trials_per_point=250), workers=4
+    )
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.engine import TrialResult
+from repro.sim.profiling import StageTimings, collect_stage_timings
+from repro.sim.results import BERPoint, CampaignResult
+from repro.sim.scenario import Scenario
+from repro.sim.trials import TrialCampaign
+
+
+def default_workers() -> int:
+    """Worker count when unspecified: all cores, capped at 8."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def split_evenly(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into up to ``parts`` contiguous (start, stop) chunks.
+
+    Chunk sizes differ by at most one, larger chunks first — the same
+    deal ``numpy.array_split`` makes — so no worker idles more than one
+    trial's worth at a barrier.
+    """
+    if n <= 0:
+        return []
+    parts = max(1, min(parts, n))
+    base, extra = divmod(n, parts)
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        chunks.append((start, stop))
+        start = stop
+    return chunks
+
+
+def _run_chunk(
+    campaign: TrialCampaign,
+    scenario: Scenario,
+    point_index: int,
+    start: int,
+    stop: int,
+    collect_timings: bool,
+) -> Tuple[int, int, List[TrialResult], Optional[StageTimings]]:
+    """Worker entry: run one contiguous slice of one point's trials."""
+    if collect_timings:
+        with collect_stage_timings() as timings:
+            results = campaign.run_trials(scenario, point_index, start, stop)
+        return point_index, start, results, timings
+    results = campaign.run_trials(scenario, point_index, start, stop)
+    return point_index, start, results, None
+
+
+def _is_picklable(campaign: TrialCampaign) -> bool:
+    """Whether the campaign can cross a process boundary."""
+    try:
+        pickle.dumps(campaign)
+        return True
+    except Exception:
+        return False
+
+
+def run_campaign_parallel(
+    scenarios: Sequence[Scenario],
+    campaign: Optional[TrialCampaign] = None,
+    label: str = "campaign",
+    workers: Optional[int] = None,
+    timings: Optional[StageTimings] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> CampaignResult:
+    """Run a campaign with trials fanned out across worker processes.
+
+    Args:
+        scenarios: one scenario per operating point (e.g. a range sweep).
+        campaign: campaign configuration (defaults if omitted).
+        label: name recorded on the result.
+        workers: process count; ``None`` = :func:`default_workers`,
+            ``1`` = serial in-process execution (no pool).
+        timings: optional per-stage timing accumulator; when given,
+            workers time their engine stages and the totals are merged
+            into it (serial path collects in-process).
+        pool: an existing executor to reuse (left open on return).
+            Back-to-back campaigns — sweeps over sweeps, the perf
+            harness's timed arms — amortise worker startup and keep
+            worker caches warm by sharing one pool. Omitted, a pool is
+            created and torn down per call.
+
+    Returns:
+        Aggregated results, one :class:`BERPoint` per scenario, in
+        order — bit-identical to :func:`repro.sim.trials.run_campaign`
+        for the same campaign seed.
+    """
+    if campaign is None:
+        campaign = TrialCampaign()
+    if workers is None:
+        workers = default_workers()
+    collect = timings is not None
+
+    if (
+        pool is None
+        and (workers <= 1 or len(scenarios) == 0 or not _is_picklable(campaign))
+    ):
+        out = CampaignResult(label=label)
+        for i, scenario in enumerate(scenarios):
+            if collect:
+                with collect_stage_timings() as point_timings:
+                    point = campaign.run_point(scenario, point_index=i)
+                timings.merge(point_timings)
+            else:
+                point = campaign.run_point(scenario, point_index=i)
+            out.add(point)
+        return out
+
+    own_pool = pool is None
+    if own_pool:
+        pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        # Oversplit so a straggling chunk (one worker hitting a
+        # detection-failure-heavy slice) doesn't serialise the campaign
+        # behind it — but keep the total future count near 4x the worker
+        # count: every chunk pays a pickle/dispatch round trip, and on
+        # multi-point sweeps the points themselves already provide
+        # interleaving.
+        chunk_budget = max(workers * 4, 1)
+        chunks_per_point = max(
+            1,
+            min(
+                campaign.trials_per_point,
+                workers * 2,
+                -(-chunk_budget // max(len(scenarios), 1)),
+            ),
+        )
+        jobs = []
+        for i, scenario in enumerate(scenarios):
+            for start, stop in split_evenly(
+                campaign.trials_per_point, chunks_per_point
+            ):
+                jobs.append(
+                    pool.submit(
+                        _run_chunk, campaign, scenario, i, start, stop, collect
+                    )
+                )
+        per_point: dict = {i: [] for i in range(len(scenarios))}
+        for job in jobs:
+            point_index, start, results, chunk_timings = job.result()
+            per_point[point_index].append((start, results))
+            if collect and chunk_timings is not None:
+                timings.merge(chunk_timings)
+    finally:
+        if own_pool:
+            pool.shutdown()
+
+    out = CampaignResult(label=label)
+    for i in range(len(scenarios)):
+        ordered: List[TrialResult] = []
+        for _, results in sorted(per_point[i], key=lambda item: item[0]):
+            ordered.extend(results)
+        out.add(BERPoint.from_trials(ordered))
+    return out

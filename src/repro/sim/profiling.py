@@ -1,0 +1,97 @@
+"""Per-stage wall-clock accounting for the waveform engine.
+
+The perf harness needs to know *where* a trial's time goes — channel
+application, array reflection, noise synthesis, or reader DSP — both to
+verify an optimization landed and to localize a regression. The engine
+brackets each stage with :func:`stage`; when no collector is installed
+that is a single global read, so campaigns pay nothing for the
+instrumentation.
+
+Usage::
+
+    with collect_stage_timings() as timings:
+        simulate_trial(scenario, ...)
+    print(timings.as_dict())
+
+Collectors are process-local. The parallel campaign runner installs one
+per worker chunk and merges the results (see
+:func:`repro.sim.parallel.run_campaign_parallel`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class StageTimings:
+    """Accumulated wall-clock per engine stage.
+
+    Attributes:
+        totals_s: stage name -> accumulated seconds.
+        counts: stage name -> number of bracketed executions.
+    """
+
+    totals_s: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, name: str, elapsed_s: float) -> None:
+        """Accumulate one bracketed execution."""
+        self.totals_s[name] = self.totals_s.get(name, 0.0) + elapsed_s
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def merge(self, other: "StageTimings") -> None:
+        """Fold another collector (e.g. from a worker process) into this one."""
+        for name, total in other.totals_s.items():
+            self.totals_s[name] = self.totals_s.get(name, 0.0) + total
+        for name, count in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + count
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly view: {stage: {total_s, count, mean_ms}}."""
+        return {
+            name: {
+                "total_s": round(self.totals_s[name], 6),
+                "count": self.counts.get(name, 0),
+                "mean_ms": round(
+                    1e3 * self.totals_s[name] / max(self.counts.get(name, 1), 1), 6
+                ),
+            }
+            for name in sorted(self.totals_s)
+        }
+
+
+_ACTIVE: Optional[StageTimings] = None
+
+
+@contextmanager
+def collect_stage_timings(
+    timings: Optional[StageTimings] = None,
+) -> Iterator[StageTimings]:
+    """Install a collector for the duration of the block (re-entrant)."""
+    global _ACTIVE
+    if timings is None:
+        timings = StageTimings()
+    previous = _ACTIVE
+    _ACTIVE = timings
+    try:
+        yield timings
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Bracket one engine stage; no-op when no collector is installed."""
+    collector = _ACTIVE
+    if collector is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        collector.add(name, time.perf_counter() - t0)

@@ -23,6 +23,28 @@ def sweep_angles(
     return [base.with_node_rotation(float(a)) for a in offsets_deg]
 
 
+def sweep_grid(
+    base: Scenario,
+    ranges_m: Sequence[float],
+    offsets_deg: Sequence[float],
+) -> List[List[Scenario]]:
+    """The full range x orientation grid, one scenario row per offset.
+
+    This is the shape of the paper's headline evaluation (BER vs range
+    at each node orientation) and the natural unit of work for the
+    parallel campaign runner: flatten the rows into one campaign and
+    every grid cell becomes an independent operating point.
+    """
+    rows: List[List[Scenario]] = []
+    for offset in offsets_deg:
+        row = [
+            s.with_node_rotation(float(offset))
+            for s in sweep_range(base, ranges_m)
+        ]
+        rows.append(row)
+    return rows
+
+
 def log_ranges(
     start_m: float, stop_m: float, points: int
 ) -> np.ndarray:

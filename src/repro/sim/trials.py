@@ -15,6 +15,8 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.phy.frame import FrameConfig
+from repro.phy.receiver import ReaderReceiver
+from repro.sim.cache import reader_node_response
 from repro.sim.engine import TrialResult, simulate_trial
 from repro.sim.results import BERPoint, CampaignResult
 from repro.sim.scenario import Scenario
@@ -46,16 +48,39 @@ class TrialCampaign:
     si_suppression_db: Optional[float] = 130.0
     receiver_factory: Optional[Callable[[Scenario], "object"]] = None
 
-    def run_point(self, scenario: Scenario, point_index: int = 0) -> BERPoint:
-        """Run all trials at one operating point and aggregate."""
+    def trial_seeds(self, point_index: int) -> List[np.random.SeedSequence]:
+        """The spawned per-trial seed sequences for one operating point.
+
+        Centralised so every execution strategy — the serial loop below,
+        the process-pool runner in :mod:`repro.sim.parallel`, or a
+        sliced re-run of a few trials — derives the *same* per-trial
+        entropy and stays bit-identical.
+        """
         seq = np.random.SeedSequence(entropy=(self.seed, point_index))
-        children = seq.spawn(self.trials_per_point)
+        return seq.spawn(self.trials_per_point)
+
+    def run_trials(
+        self,
+        scenario: Scenario,
+        point_index: int = 0,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> List[TrialResult]:
+        """Run a contiguous slice of a point's trials.
+
+        Per-point invariants (the node, the receive chain, the traced
+        multipath response) are constructed once here and passed down:
+        the seed engine rebuilt all three inside every trial, which is
+        where most of a campaign's non-noise time went.
+        """
+        children = self.trial_seeds(point_index)[start:stop]
         node = self.node_factory()
         receiver = (
             self.receiver_factory(scenario)
             if self.receiver_factory is not None
-            else None
+            else ReaderReceiver.for_scenario(scenario, self.frame_config)
         )
+        response = reader_node_response(scenario)
         results: List[TrialResult] = []
         for child in children:
             rng = np.random.default_rng(child)
@@ -71,9 +96,14 @@ class TrialCampaign:
                     frame_config=self.frame_config,
                     receiver=receiver,
                     si_suppression_db=self.si_suppression_db,
+                    response=response,
                 )
             )
-        return BERPoint.from_trials(results)
+        return results
+
+    def run_point(self, scenario: Scenario, point_index: int = 0) -> BERPoint:
+        """Run all trials at one operating point and aggregate."""
+        return BERPoint.from_trials(self.run_trials(scenario, point_index))
 
 
 def run_campaign(

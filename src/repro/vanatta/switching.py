@@ -99,7 +99,7 @@ def chips_to_waveform(
     if samples_per_chip < 1:
         raise ValueError("samples_per_chip must be >= 1")
     chips = np.asarray(list(chips), dtype=np.int64)
-    if chips.size and not np.isin(chips, (0, 1)).all():
+    if chips.size and not ((chips == 0) | (chips == 1)).all():
         raise ValueError("chips must be 0/1")
     levels = np.where(chips == 1, switch.on_amplitude, switch.off_amplitude)
     wave = np.repeat(levels, samples_per_chip).astype(np.float64)

@@ -1,0 +1,207 @@
+"""Parallel campaign engine: determinism, caching, and the perf smoke.
+
+The contract under test is strong: the process-pool runner must be
+*bit-identical* to the serial loop — same seeds, same float reduction
+order — and the memoization layers must be pure speed, invisible in the
+numbers they return.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.acoustics.noise import NoiseConditions, total_noise_psd_db
+from repro.core import Scenario
+from repro.dsp import noisegen
+from repro.sim import cache
+from repro.sim.parallel import run_campaign_parallel, split_evenly
+from repro.sim.profiling import StageTimings
+from repro.sim.results import BERPoint
+from repro.sim.sweep import sweep_range
+from repro.sim.trials import TrialCampaign, run_campaign
+from repro.vanatta.node import VanAttaNode
+
+ROOT = Path(__file__).resolve().parent.parent
+
+RANGES = [50.0, 330.0]
+
+
+class TestSplitEvenly:
+    def test_covers_range_contiguously(self):
+        for n in (1, 2, 7, 25, 100):
+            for parts in (1, 2, 3, 4, 9, n, n + 5):
+                chunks = split_evenly(n, parts)
+                assert chunks[0][0] == 0
+                assert chunks[-1][1] == n
+                for (_, stop), (start, _) in zip(chunks, chunks[1:]):
+                    assert stop == start
+
+    def test_sizes_differ_by_at_most_one_larger_first(self):
+        chunks = split_evenly(25, 4)
+        sizes = [stop - start for start, stop in chunks]
+        assert sizes == [7, 6, 6, 6]
+
+    def test_never_emits_empty_chunks(self):
+        assert split_evenly(2, 8) == [(0, 1), (1, 2)]
+        assert split_evenly(0, 4) == []
+
+
+class TestParallelDeterminism:
+    def test_parallel_bit_identical_to_serial(self):
+        scenarios = sweep_range(Scenario.river(), RANGES)
+        campaign = TrialCampaign(trials_per_point=8, seed=2023)
+        serial = run_campaign(scenarios, campaign, label="det")
+        parallel = run_campaign_parallel(
+            scenarios, campaign, label="det", workers=4
+        )
+        # Not "close" — identical. Same spawned seeds, same trial order,
+        # same reduction order in BERPoint.from_trials.
+        assert parallel.points == serial.points
+
+    def test_workers_one_matches_serial_runner(self):
+        scenarios = sweep_range(Scenario.river(), RANGES)
+        campaign = TrialCampaign(trials_per_point=4, seed=7)
+        serial = run_campaign(scenarios, campaign)
+        inproc = run_campaign_parallel(scenarios, campaign, workers=1)
+        assert inproc.points == serial.points
+
+    def test_non_picklable_campaign_falls_back_to_serial(self):
+        scenarios = sweep_range(Scenario.river(), [50.0])
+        campaign = TrialCampaign(
+            trials_per_point=3, seed=5, node_factory=lambda: VanAttaNode()
+        )
+        serial = run_campaign(scenarios, campaign)
+        fallback = run_campaign_parallel(scenarios, campaign, workers=4)
+        assert fallback.points == serial.points
+
+    def test_sliced_trials_reassemble_to_the_full_point(self):
+        scenario = Scenario.river().at_range(150.0)
+        campaign = TrialCampaign(trials_per_point=6, seed=11)
+        whole = campaign.run_point(scenario, point_index=0)
+        parts = campaign.run_trials(scenario, 0, 0, 2) + campaign.run_trials(
+            scenario, 0, 2, None
+        )
+        assert BERPoint.from_trials(parts) == whole
+
+    def test_stage_timings_cover_the_engine_stages(self):
+        scenarios = sweep_range(Scenario.river(), [50.0])
+        timings = StageTimings()
+        run_campaign_parallel(
+            scenarios, TrialCampaign(trials_per_point=2, seed=1),
+            workers=1, timings=timings,
+        )
+        report = timings.as_dict()
+        for stage in ("channel", "reflect", "noise", "demod"):
+            assert report[stage]["count"] >= 2
+            assert report[stage]["total_s"] >= 0.0
+
+
+class TestChannelCache:
+    def test_cached_taps_equal_fresh_computation(self):
+        scenario = Scenario.river().at_range(250.0)
+        cache.clear_channel_cache()
+        cached = cache.reader_node_response(scenario)
+        fresh = scenario.channel().between(
+            scenario.reader.position, scenario.node.position
+        )
+        assert len(cached.paths) == len(fresh.paths)
+        for a, b in zip(cached.paths, fresh.paths):
+            assert a.delay_s == b.delay_s
+            assert a.gain == b.gain
+            assert a.surface_bounces == b.surface_bounces
+
+    def test_second_lookup_is_a_hit_returning_the_same_object(self):
+        scenario = Scenario.river().at_range(250.0)
+        cache.clear_channel_cache()
+        first = cache.reader_node_response(scenario)
+        hits0, misses0, entries0, _ = cache.channel_cache_info()
+        # An equal-by-value but distinct scenario object shares the entry.
+        again = cache.reader_node_response(Scenario.river().at_range(250.0))
+        hits1, misses1, entries1, _ = cache.channel_cache_info()
+        assert again is first
+        assert (hits1, misses1, entries1) == (hits0 + 1, misses0, entries0)
+
+    def test_clear_invalidates(self):
+        scenario = Scenario.river().at_range(120.0)
+        cache.clear_channel_cache()
+        first = cache.reader_node_response(scenario)
+        cache.clear_channel_cache()
+        assert cache.channel_cache_info()[:3] == (0, 0, 0)
+        retraced = cache.reader_node_response(scenario)
+        assert retraced is not first
+
+    def test_disabled_cache_bypasses_storage(self):
+        scenario = Scenario.river().at_range(90.0)
+        cache.clear_channel_cache()
+        old = cache.set_channel_cache_enabled(False)
+        try:
+            cache.reader_node_response(scenario)
+            assert cache.channel_cache_info()[:3] == (0, 0, 0)
+        finally:
+            cache.set_channel_cache_enabled(old)
+
+
+class TestNoiseShapingCache:
+    def test_vectorized_psd_matches_scalar_wenz(self):
+        conditions = NoiseConditions()
+        freqs = np.linspace(100.0, 40_000.0, 257)
+        vectorized = conditions.psd_db_array(freqs)
+        pointwise = np.array([total_noise_psd_db(f, conditions) for f in freqs])
+        np.testing.assert_allclose(vectorized, pointwise, rtol=1e-12)
+
+    def test_cached_noise_bitwise_matches_pointwise_path(self):
+        conditions = NoiseConditions()
+        n, fs, carrier = 4096, 192_000.0, 18_500.0
+        noisegen.clear_noise_cache()
+        cached = noisegen.colored_noise(
+            n, fs, conditions.psd_db, carrier, np.random.default_rng(3)
+        )
+        old = noisegen.set_pointwise_psd(True)
+        old_cache = noisegen.set_noise_cache_enabled(False)
+        try:
+            pointwise = noisegen.colored_noise(
+                n, fs, conditions.psd_db, carrier, np.random.default_rng(3)
+            )
+        finally:
+            noisegen.set_pointwise_psd(old)
+            noisegen.set_noise_cache_enabled(old_cache)
+        np.testing.assert_allclose(cached, pointwise, rtol=1e-10)
+
+    def test_shaping_filter_is_reused_across_equal_conditions(self):
+        noisegen.clear_noise_cache()
+        rng = np.random.default_rng(0)
+        noisegen.colored_noise(2048, 192_000.0, NoiseConditions().psd_db, 18_500.0, rng)
+        entries_after_first, _ = noisegen.noise_cache_info()
+        noisegen.colored_noise(2048, 192_000.0, NoiseConditions().psd_db, 18_500.0, rng)
+        entries_after_second, _ = noisegen.noise_cache_info()
+        assert entries_after_first == entries_after_second == 1
+
+
+@pytest.mark.bench_smoke
+class TestBenchSmoke:
+    def load_bench(self):
+        spec = importlib.util.spec_from_file_location(
+            "bench_perf", ROOT / "tools" / "bench_perf.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_tiny_campaign_runs_and_reports_timings(self):
+        bench = self.load_bench()
+        record = bench.run_bench(
+            trials_per_point=2, ranges_m=[50.0], workers=2, seed=2023
+        )
+        assert record["bench"] == "BENCH_1"
+        assert record["parallel_bit_identical"] is True
+        for arm in ("seed_baseline", "optimized_serial", "optimized_parallel"):
+            assert record[arm]["trials"] == 2
+            assert record[arm]["trials_per_sec"] > 0
+        assert record["optimized_parallel"]["workers"] == 2
+        assert set(record["speedup"]) == {
+            "serial_over_baseline", "parallel_over_baseline"
+        }
+        for stage in ("channel", "reflect", "noise", "demod"):
+            assert record["stage_timings"][stage]["count"] >= 2

@@ -1,0 +1,234 @@
+"""Perf-regression harness for the Monte-Carlo campaign engine.
+
+Measures trials/sec of three execution arms on the same seeded campaign
+(a river BER-vs-range sweep, the shape of the paper's headline figure):
+
+* ``seed_baseline`` — the seed repo's serial path, emulated by disabling
+  the channel-response and noise-shaping caches, forcing per-frequency
+  Wenz evaluation, and rebuilding the receiver per trial. (The baseline
+  still gets this PR's O(n) DC blocker and memoized preamble templates,
+  so reported speedups are *conservative* relative to the true seed.)
+* ``optimized_serial`` — the cached engine, one process.
+* ``optimized_parallel`` — the cached engine fanned out over a
+  ``ProcessPoolExecutor``.
+
+Also records per-stage wall-clock (channel / reflect / noise / demod)
+via :mod:`repro.sim.profiling` and verifies the parallel arm is
+bit-identical to the serial one, then writes everything to
+``BENCH_1.json`` — the file the perf-regression check diffs against.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/bench_perf.py            # full campaign
+    PYTHONPATH=src python tools/bench_perf.py --smoke    # tiny-N sanity
+
+The pytest smoke test (``-m bench_smoke``) drives :func:`run_bench`
+directly with tiny N so executor regressions surface in tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.dsp import noisegen
+from repro.sim import cache
+from repro.sim.engine import simulate_trial
+from repro.sim.parallel import run_campaign_parallel
+from repro.sim.profiling import StageTimings
+from repro.sim.scenario import Scenario
+from repro.sim.sweep import sweep_range
+from repro.sim.trials import TrialCampaign, run_campaign
+
+DEFAULT_RANGES_M = [50.0, 150.0, 250.0, 330.0, 450.0, 600.0]
+
+
+@contextmanager
+def seed_baseline_mode() -> Iterator[None]:
+    """Disable every campaign-level cache (emulate the seed hot path)."""
+    old_pointwise = noisegen.set_pointwise_psd(True)
+    old_noise_cache = noisegen.set_noise_cache_enabled(False)
+    old_channel_cache = cache.set_channel_cache_enabled(False)
+    noisegen.clear_noise_cache()
+    cache.clear_channel_cache()
+    try:
+        yield
+    finally:
+        noisegen.set_pointwise_psd(old_pointwise)
+        noisegen.set_noise_cache_enabled(old_noise_cache)
+        cache.set_channel_cache_enabled(old_channel_cache)
+
+
+def run_baseline(
+    scenarios: Sequence[Scenario], campaign: TrialCampaign
+) -> int:
+    """The seed's per-trial loop: nothing hoisted, nothing cached.
+
+    Mirrors the seed ``TrialCampaign.run_point``: the node is built once
+    per point but the receiver and the channel response are recomputed
+    inside every trial, and the Wenz PSD is evaluated per FFT bin in
+    Python.
+    """
+    n = 0
+    with seed_baseline_mode():
+        for i, scenario in enumerate(scenarios):
+            children = campaign.trial_seeds(i)
+            node = campaign.node_factory()
+            for child in children:
+                rng = np.random.default_rng(child)
+                payload = bytes(
+                    rng.integers(0, 256, size=campaign.payload_bytes, dtype=np.uint8)
+                )
+                simulate_trial(
+                    scenario,
+                    node=node,
+                    payload=payload,
+                    rng=rng,
+                    frame_config=campaign.frame_config,
+                    receiver=None,
+                    si_suppression_db=campaign.si_suppression_db,
+                )
+                n += 1
+    return n
+
+
+def _arm(elapsed_s: float, trials: int) -> dict:
+    return {
+        "elapsed_s": round(elapsed_s, 4),
+        "trials": trials,
+        "trials_per_sec": round(trials / elapsed_s, 2) if elapsed_s > 0 else None,
+    }
+
+
+def run_bench(
+    trials_per_point: int = 25,
+    ranges_m: Optional[List[float]] = None,
+    workers: int = 4,
+    seed: int = 2023,
+) -> dict:
+    """Run all three arms and return the BENCH record (JSON-ready)."""
+    if ranges_m is None:
+        ranges_m = list(DEFAULT_RANGES_M)
+    scenarios = sweep_range(Scenario.river(), ranges_m)
+    campaign = TrialCampaign(trials_per_point=trials_per_point, seed=seed)
+
+    # Warm imports / BLAS / code paths so no arm pays first-call costs.
+    run_campaign(scenarios[:1], TrialCampaign(trials_per_point=2, seed=seed))
+    run_baseline(scenarios[:1], TrialCampaign(trials_per_point=2, seed=seed))
+
+    t0 = time.perf_counter()
+    n_base = run_baseline(scenarios, campaign)
+    baseline = _arm(time.perf_counter() - t0, n_base)
+
+    cache.clear_channel_cache()
+    noisegen.clear_noise_cache()
+    serial_timings = StageTimings()
+    t0 = time.perf_counter()
+    serial = run_campaign_parallel(
+        scenarios, campaign, label="bench-serial", workers=1,
+        timings=serial_timings,
+    )
+    serial_arm = _arm(time.perf_counter() - t0, serial.total_trials)
+
+    # Steady-state parallel throughput: fork and warm the workers on a
+    # tiny campaign first so the timed run measures the engine, not
+    # process startup (the serial arms got the same treatment above).
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        run_campaign_parallel(
+            scenarios[:1], TrialCampaign(trials_per_point=2, seed=seed),
+            workers=workers, pool=pool,
+        )
+        t0 = time.perf_counter()
+        parallel = run_campaign_parallel(
+            scenarios, campaign, label="bench-parallel", workers=workers,
+            pool=pool,
+        )
+        parallel_arm = _arm(time.perf_counter() - t0, parallel.total_trials)
+    parallel_arm["workers"] = workers
+
+    identical = serial.points == parallel.points
+    base_rate = baseline["trials_per_sec"] or 1e-9
+    return {
+        "bench": "BENCH_1",
+        "name": "monte-carlo-campaign-engine",
+        "config": {
+            "trials_per_point": trials_per_point,
+            "points": len(ranges_m),
+            "ranges_m": ranges_m,
+            "workers": workers,
+            "seed": seed,
+            "scenario": "river",
+        },
+        "seed_baseline": baseline,
+        "optimized_serial": serial_arm,
+        "optimized_parallel": parallel_arm,
+        "speedup": {
+            "serial_over_baseline": round(
+                (serial_arm["trials_per_sec"] or 0.0) / base_rate, 2
+            ),
+            "parallel_over_baseline": round(
+                (parallel_arm["trials_per_sec"] or 0.0) / base_rate, 2
+            ),
+        },
+        "stage_timings": serial_timings.as_dict(),
+        "parallel_bit_identical": identical,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--trials", type=int, default=25,
+                        help="trials per operating point (default 25)")
+    parser.add_argument("--points", type=int, default=len(DEFAULT_RANGES_M),
+                        help="number of range points (default 6)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="parallel arm worker processes (default 4)")
+    parser.add_argument("--seed", type=int, default=2023,
+                        help="campaign master seed (default 2023)")
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_1.json",
+                        help="output JSON path (default BENCH_1.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny-N sanity run; prints but does not write")
+    args = parser.parse_args(argv)
+    if args.trials < 1:
+        parser.error("--trials must be >= 1")
+    if args.points < 1:
+        parser.error("--points must be >= 1")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+
+    if args.smoke:
+        record = run_bench(trials_per_point=3, ranges_m=[50.0, 330.0],
+                           workers=2, seed=args.seed)
+    else:
+        ranges = list(np.interp(
+            np.linspace(0, len(DEFAULT_RANGES_M) - 1, args.points),
+            np.arange(len(DEFAULT_RANGES_M)), DEFAULT_RANGES_M,
+        )) if args.points != len(DEFAULT_RANGES_M) else list(DEFAULT_RANGES_M)
+        record = run_bench(trials_per_point=args.trials, ranges_m=ranges,
+                           workers=args.workers, seed=args.seed)
+
+    print(json.dumps(record, indent=2))
+    if not args.smoke:
+        args.out.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    if not record["parallel_bit_identical"]:
+        print("ERROR: parallel campaign diverged from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,54 @@ import importlib
 import inspect
 from pathlib import Path
 
+CAMPAIGNS_SECTION = """\
+## Running large campaigns
+
+The paper's evaluation rests on >1,500 field trials; simulation
+campaigns of that size run through `repro.sim.parallel`:
+
+```python
+from repro.sim import (
+    Scenario, TrialCampaign, run_campaign_parallel, sweep_range,
+)
+
+scenarios = sweep_range(Scenario.river(), [50, 150, 250, 330, 450, 600])
+result = run_campaign_parallel(
+    scenarios, TrialCampaign(trials_per_point=250, seed=2023), workers=4
+)
+```
+
+Results are **bit-identical** to the serial `run_campaign` for the same
+seed: per-trial entropy comes from `TrialCampaign.trial_seeds`
+(`SeedSequence((seed, point)).spawn(n)`) regardless of which worker runs
+a trial, and chunks are re-assembled in trial order before aggregation.
+`workers=1` runs serially in-process; campaigns carrying non-picklable
+factories fall back to the same path automatically.
+
+Speed comes mostly from memoization, which is on by default and
+invisible in the returned numbers:
+
+- `repro.sim.cache` memoizes traced channel responses per deployment
+  geometry (`reader_node_response`, `channel_cache_info`,
+  `clear_channel_cache`, `set_channel_cache_enabled`).
+- `repro.dsp.noisegen` caches the Wenz PSD shaping filter per
+  `(n, fs, conditions, carrier)` (`clear_noise_cache`,
+  `set_noise_cache_enabled`, `set_pointwise_psd`).
+
+Caches are process-local and keyed by value; invalidate explicitly
+after mutating water/surface tables in place.
+
+Per-stage wall-clock (channel / reflect / noise / demod) is available
+via `collect_stage_timings` or the `timings=` argument. The perf
+harness `tools/bench_perf.py` times the seed-style serial path against
+the cached serial and parallel engines and writes `BENCH_1.json`
+(arms `seed_baseline` / `optimized_serial` / `optimized_parallel`, each
+with `elapsed_s`, `trials`, `trials_per_sec`, plus `speedup`,
+`stage_timings`, and a `parallel_bit_identical` flag). A tiny-N smoke
+of the same harness runs in the test suite under the `bench_smoke`
+marker (`pytest -m bench_smoke`).
+"""
+
 PACKAGES = [
     "repro.core",
     "repro.geometry",
@@ -36,6 +84,7 @@ def build() -> str:
         "Auto-generated from the package's public (`__all__`) surface.",
         "Regenerate with `python tools/gen_api_docs.py`.",
         "",
+        CAMPAIGNS_SECTION,
     ]
     for name in PACKAGES:
         module = importlib.import_module(name)
