@@ -1,14 +1,45 @@
-"""Shared table-printing helpers for the benchmark harness.
+"""Shared helpers for the benchmark harness: tables + observed campaigns.
 
 Every benchmark prints the rows/series the corresponding paper figure or
 table reports, in a fixed-width layout that survives CI logs. Run with
 ``pytest benchmarks/ --benchmark-only -s`` to see the tables, or execute
 any bench module directly (``python benchmarks/bench_e1_*.py``).
+
+Campaign-driven benchmarks route through :func:`run_bench_campaign`,
+which plugs into the observability layer: set ``VAB_OBS_DIR=<dir>`` and
+every campaign writes a run manifest + JSONL event log there
+(``<label>.manifest.json`` / ``<label>.events.jsonl``), renderable with
+``python -m repro obs report <manifest>``. Results are bit-identical
+with or without observation.
 """
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import List, Sequence
+
+
+def run_bench_campaign(scenarios, campaign, label: str, workers: int = 1):
+    """Run a campaign, emitting obs artifacts when ``VAB_OBS_DIR`` is set."""
+    from repro.sim.parallel import run_campaign_parallel, run_observed_campaign
+
+    obs_dir = os.environ.get("VAB_OBS_DIR")
+    if not obs_dir:
+        return run_campaign_parallel(
+            scenarios, campaign, label=label, workers=workers
+        )
+    out = Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    result, _ = run_observed_campaign(
+        scenarios,
+        campaign,
+        label=label,
+        workers=workers,
+        manifest_path=out / f"{label}.manifest.json",
+        events_path=out / f"{label}.events.jsonl",
+    )
+    return result
 
 
 def print_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:

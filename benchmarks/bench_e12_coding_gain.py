@@ -13,9 +13,9 @@ from repro.core import Scenario
 from repro.phy.fec import FECScheme, code_rate
 from repro.phy.frame import FrameConfig
 from repro.sim.sweep import sweep_range
-from repro.sim.trials import TrialCampaign, run_campaign
+from repro.sim.trials import TrialCampaign
 
-from _tables import print_table
+from _tables import print_table, run_bench_campaign
 
 RANGES = [330.0, 370.0, 410.0, 450.0]
 TRIALS = 10
@@ -33,7 +33,7 @@ def run_coding_campaign():
         campaign = TrialCampaign(
             trials_per_point=TRIALS, seed=120, frame_config=cfg
         )
-        results[name] = run_campaign(scenarios, campaign, label=name)
+        results[name] = run_bench_campaign(scenarios, campaign, label=name)
     return results
 
 

@@ -10,7 +10,8 @@ are bit-identical to the serial runner for the same seeds, so the table
 below is unchanged from the seed benchmark while the campaign executes
 across ``E3_WORKERS`` processes (set the env var to 1 to force the
 serial path; serial-vs-parallel wall-clocks are recorded in
-RESULTS.txt).
+RESULTS.txt). Set ``VAB_OBS_DIR=<dir>`` to also emit a run manifest +
+event log per orientation for ``repro obs report``.
 
 Paper shape: BER stays at/below 1e-3 out to ~300 m, across orientations
 from head-on to 60 degrees, with a sharp waterfall beyond.
@@ -19,11 +20,10 @@ from head-on to 60 degrees, with a sharp waterfall beyond.
 import os
 
 from repro.core import Scenario
-from repro.sim.parallel import run_campaign_parallel
 from repro.sim.sweep import sweep_range
 from repro.sim.trials import TrialCampaign
 
-from _tables import print_table
+from _tables import print_table, run_bench_campaign
 
 RANGES = [50.0, 150.0, 250.0, 330.0, 450.0, 600.0]
 ORIENTATIONS = [0.0, 30.0, 60.0]
@@ -40,7 +40,7 @@ def run_ber_campaign(workers: int = WORKERS):
         # Re-apply the rotation after the range move.
         scenarios = [s.with_node_rotation(offset) for s in scenarios]
         campaign = TrialCampaign(trials_per_point=TRIALS_PER_POINT, seed=30 + int(offset))
-        results[offset] = run_campaign_parallel(
+        results[offset] = run_bench_campaign(
             scenarios, campaign, label=f"river-{offset:.0f}deg", workers=workers
         )
     return results

@@ -9,9 +9,9 @@ sea state costs range.
 
 from repro.core import Scenario, default_vab_budget
 from repro.sim.sweep import sweep_range
-from repro.sim.trials import TrialCampaign, run_campaign
+from repro.sim.trials import TrialCampaign
 
-from _tables import print_table
+from _tables import print_table, run_bench_campaign
 
 RANGES = [30.0, 80.0, 150.0, 220.0, 300.0]
 SEA_STATES = [1, 3, 5]
@@ -22,7 +22,7 @@ def run_ocean_campaign():
     campaigns = {}
     for ss in SEA_STATES:
         scenarios = sweep_range(Scenario.ocean(sea_state=ss), RANGES)
-        campaigns[ss] = run_campaign(
+        campaigns[ss] = run_bench_campaign(
             scenarios,
             TrialCampaign(trials_per_point=TRIALS, seed=60 + ss),
             label=f"ocean-ss{ss}",

@@ -18,6 +18,6 @@ Package map (bottom-up): :mod:`repro.geometry`, :mod:`repro.acoustics`,
 :mod:`repro.baselines`, :mod:`repro.core`.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

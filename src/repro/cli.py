@@ -4,9 +4,11 @@
 
     python -m repro budget --site river --range 150
     python -m repro sweep --site ocean --sea-state 3 --start 50 --stop 300
+    python -m repro sweep --manifest run.json --events run.jsonl --workers 4
     python -m repro pattern --elements 4
     python -m repro trial --site river --range 250
     python -m repro inventory --nodes 8 --q 3
+    python -m repro obs report run.json
 
 Every subcommand prints a plain table to stdout and exits 0 on success;
 they are thin wrappers over the same public API the examples use.
@@ -51,18 +53,49 @@ def cmd_budget(args) -> int:
 
 def cmd_sweep(args) -> int:
     """Monte-Carlo BER sweep across range."""
+    from repro.sim.parallel import run_campaign_parallel, run_observed_campaign
     from repro.sim.sweep import log_ranges, sweep_range
-    from repro.sim.trials import TrialCampaign, run_campaign
+
+    from repro.sim.trials import TrialCampaign
 
     scenario = _site_scenario(args)
     ranges = log_ranges(args.start, args.stop, args.points)
     campaign = TrialCampaign(trials_per_point=args.trials, seed=args.seed)
-    result = run_campaign(sweep_range(scenario, ranges), campaign, label=args.site)
+    scenarios = sweep_range(scenario, ranges)
+    if args.manifest or args.events:
+        result, _ = run_observed_campaign(
+            scenarios, campaign, label=args.site, workers=args.workers,
+            manifest_path=args.manifest, events_path=args.events,
+        )
+    else:
+        result = run_campaign_parallel(
+            scenarios, campaign, label=args.site, workers=args.workers
+        )
     print(f"{'range_m':>8} {'ber':>9} {'frames':>7} {'snr_db':>7}")
     for p in result.points:
         print(f"{p.range_m:>8.0f} {p.ber:>9.4f} "
               f"{p.frame_success_rate:>7.2f} {p.mean_snr_db:>7.1f}")
     print(f"max range at BER<=1e-3: {result.max_range_at_ber(1e-3):.0f} m")
+    if args.manifest:
+        print(f"manifest: {args.manifest}")
+    if args.events:
+        print(f"events  : {args.events}")
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    """Render a run manifest (+ event log) as breakdown tables."""
+    from repro.obs.manifest import read_events
+    from repro.obs.report import render_report
+    from repro.sim.export import load_manifest
+    from pathlib import Path
+
+    manifest = load_manifest(args.manifest)
+    events = None
+    events_path = args.events or manifest.events_path
+    if events_path and Path(events_path).exists():
+        events = read_events(events_path)
+    print(render_report(manifest, events), end="")
     return 0
 
 
@@ -169,7 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--stop", type=float, default=500.0)
     p_sweep.add_argument("--points", type=int, default=6)
     p_sweep.add_argument("--trials", type=int, default=5)
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="campaign worker processes (default 1: serial)")
+    p_sweep.add_argument("--manifest", default=None, metavar="PATH",
+                         help="write a run manifest (JSON) here")
+    p_sweep.add_argument("--events", default=None, metavar="PATH",
+                         help="write a JSONL event log here")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_obs = sub.add_parser("obs", help="observability: inspect run artifacts")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_report = obs_sub.add_parser(
+        "report", help="per-stage/per-point breakdown of a run manifest"
+    )
+    p_report.add_argument("manifest", help="path to a run manifest JSON")
+    p_report.add_argument("--events", default=None, metavar="PATH",
+                          help="event log (default: the manifest's, if present)")
+    p_report.set_defaults(func=cmd_obs_report)
 
     p_pattern = sub.add_parser("pattern", help="retrodirectivity pattern")
     p_pattern.add_argument("--elements", type=int, default=4)

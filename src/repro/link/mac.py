@@ -126,9 +126,9 @@ class SlottedAlohaInventory:
             for slot in range(window):
                 contenders = slots.get(slot, [])
                 if not contenders:
-                    stats.idle_slots += 1
+                    stats.record_idle_slot()
                 elif len(contenders) > 1:
-                    stats.collisions += 1
+                    stats.record_collision()
                 else:
                     node = contenders[0]
                     if rng.random() < probs[node]:

@@ -5,10 +5,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.obs.metrics import counter
+
+FRAMES_SENT_COUNTER = counter(
+    "repro.link.stats.frames_sent", "link-layer transmission attempts"
+)
+FRAMES_DELIVERED_COUNTER = counter(
+    "repro.link.stats.frames_delivered", "link-layer frames delivered intact"
+)
+COLLISIONS_COUNTER = counter(
+    "repro.link.stats.collisions", "slots lost to multi-node collisions"
+)
+IDLE_SLOTS_COUNTER = counter(
+    "repro.link.stats.idle_slots", "inventory slots no node answered in"
+)
+
 
 @dataclass
 class LinkStats:
-    """Mutable counters accumulated during a link-layer simulation."""
+    """Mutable counters accumulated during a link-layer simulation.
+
+    The record methods mirror every count into the active
+    :mod:`repro.obs.metrics` registry (``repro.link.stats.*``), so
+    campaign manifests see link-layer traffic without the MAC threading
+    a registry through.
+    """
 
     frames_sent: int = 0
     frames_delivered: int = 0
@@ -22,24 +43,38 @@ class LinkStats:
         """Count a transmission attempt by a node."""
         self.frames_sent += 1
         self.per_node_attempts[node_id] = self.per_node_attempts.get(node_id, 0) + 1
+        FRAMES_SENT_COUNTER.inc()
 
     def record_delivery(self, node_id: int, payload_bits: int) -> None:
         """Count a successful delivery."""
         self.frames_delivered += 1
         self.payload_bits_delivered += payload_bits
+        FRAMES_DELIVERED_COUNTER.inc()
         # node_id kept for symmetry with record_attempt; per-node delivery
         # is implied by inventory completion.
         __ = node_id
 
+    def record_collision(self) -> None:
+        """Count a slot lost to a collision."""
+        self.collisions += 1
+        COLLISIONS_COUNTER.inc()
+
+    def record_idle_slot(self) -> None:
+        """Count a slot no node answered in."""
+        self.idle_slots += 1
+        IDLE_SLOTS_COUNTER.inc()
+
     @property
     def delivery_ratio(self) -> float:
-        """Delivered / sent (0 when nothing was sent)."""
+        """Delivered / sent; explicitly 0.0 when nothing was sent, so
+        empty-campaign summaries and manifests serialize cleanly."""
         if self.frames_sent == 0:
             return 0.0
         return self.frames_delivered / self.frames_sent
 
     def goodput_bps(self) -> float:
-        """Delivered payload bits per busy second."""
+        """Delivered payload bits per busy second; explicitly 0.0 when
+        no busy time accrued (empty or failed campaigns)."""
         if self.busy_time_s <= 0:
             return 0.0
         return self.payload_bits_delivered / self.busy_time_s

@@ -1,0 +1,75 @@
+"""Unified observability: trace spans, metrics, manifests, reports.
+
+Campaigns at the paper's trial counts (>1,500 field trials) are only
+trustworthy when you can see inside them: where the wall-clock went,
+how the caches behaved, which receiver stages failed, and exactly what
+configuration produced a result file. This package is the substrate the
+rest of the simulator reports through:
+
+* :mod:`repro.obs.spans` — hierarchical trace spans
+  (``campaign > point > trial > channel/reflect/noise/demod``) with a
+  no-op fast path when no tracer is installed.
+* :mod:`repro.obs.metrics` — a process-local metrics registry
+  (counters, gauges, histograms) that engine layers register
+  instruments with.
+* :mod:`repro.obs.manifest` — run manifests and JSONL event logs, the
+  durable record of a campaign run.
+* :mod:`repro.obs.report` — renders a manifest/event log into the
+  per-stage, per-point breakdown behind ``repro obs report``.
+
+Layering: ``obs`` sits below :mod:`repro.sim` — simulation code imports
+``obs``, never the reverse — so any subsystem (PHY, link, baselines)
+can instrument itself without dependency cycles.
+"""
+
+from repro.obs.spans import (
+    SpanTracer,
+    active_tracer,
+    collect_spans,
+    span,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    counter,
+    gauge,
+    histogram,
+    instruments,
+    metrics_snapshot,
+    reset_metrics,
+    use_registry,
+)
+from repro.obs.manifest import (
+    EventLog,
+    RunManifest,
+    read_events,
+    scenario_snapshot,
+)
+from repro.obs.report import render_report
+
+__all__ = [
+    "SpanTracer",
+    "span",
+    "collect_spans",
+    "active_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "instruments",
+    "use_registry",
+    "active_registry",
+    "metrics_snapshot",
+    "reset_metrics",
+    "EventLog",
+    "RunManifest",
+    "read_events",
+    "scenario_snapshot",
+    "render_report",
+]

@@ -1,0 +1,148 @@
+"""Run manifests and structured event logs.
+
+A campaign's numbers are only as reusable as the metadata recorded with
+them: the seed, the exact scenario, the package version, where the time
+went, what the caches and the receiver saw. A :class:`RunManifest`
+captures all of that in one JSON-safe record (persisted via
+:mod:`repro.sim.export`, round-trippable like ``CampaignResult``), and
+an :class:`EventLog` streams the run's progress — campaign/point/chunk
+boundaries — as JSON Lines for tailing and post-hoc timelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+
+@dataclass
+class RunManifest:
+    """The durable record of one campaign run.
+
+    Attributes:
+        label: campaign label (matches the result's).
+        seed: master campaign seed.
+        version: ``repro.__version__`` that produced the run.
+        created_unix: wall-clock start of the run (Unix seconds).
+        elapsed_s: end-to-end wall-clock of the run.
+        workers: worker processes the run was configured for.
+        campaign: campaign configuration snapshot (trials per point,
+            payload size, ...).
+        scenarios: one :func:`scenario_snapshot` per operating point.
+        timings: span-path -> {total_s, count, mean_ms}
+            (:meth:`repro.obs.spans.SpanTracer.as_dict`).
+        metrics: metrics snapshot
+            (:meth:`repro.obs.metrics.MetricsRegistry.as_dict`).
+        results: serialized campaign results
+            (:func:`repro.sim.export.campaign_to_dict`).
+        events_path: path of the JSONL event log, when one was written.
+    """
+
+    label: str
+    seed: int
+    version: str
+    created_unix: float
+    elapsed_s: float
+    workers: int
+    campaign: dict = field(default_factory=dict)
+    scenarios: List[dict] = field(default_factory=list)
+    timings: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)
+    events_path: Optional[str] = None
+
+    @property
+    def total_trials(self) -> int:
+        """Trials across all points of the recorded results."""
+        return sum(int(p["trials"]) for p in self.results.get("points", []))
+
+
+class EventLog:
+    """Append-only JSON Lines event stream for one run.
+
+    Each event is one line: ``{"ts": <unix seconds>, "event": <name>,
+    ...fields}``. The file is created lazily on the first
+    :meth:`emit`, so constructing a log never leaves empty files
+    behind. Usable as a context manager.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh: Optional[IO[str]] = None
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event with the current timestamp."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w")
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        self._fh.write(json.dumps(record, default=_json_default) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL event log back into a list of event dicts."""
+    events = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+def scenario_snapshot(scenario) -> dict:
+    """A JSON-safe snapshot of a scenario's full configuration.
+
+    Recursively expands the scenario's nested dataclasses (water,
+    surface, noise, poses) and adds the derived quantities reports key
+    on (slant range, incidence, sample rate). Non-JSON leaves degrade
+    to ``repr`` rather than failing: a manifest with a stringified
+    field beats no manifest.
+    """
+    if dataclasses.is_dataclass(scenario):
+        raw = dataclasses.asdict(scenario)
+    else:  # pragma: no cover - campaigns always pass dataclass scenarios
+        raw = {"repr": repr(scenario)}
+    snapshot = _jsonify(raw)
+    for derived in ("range_m", "incidence_deg", "fs"):
+        value = getattr(scenario, derived, None)
+        if value is not None:
+            snapshot[derived] = _jsonify(value)
+    return snapshot
+
+
+def _jsonify(value):
+    """Best-effort conversion to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if hasattr(value, "item"):  # numpy scalar
+        return _jsonify(value.item())
+    return repr(value)
+
+
+def _json_default(value):
+    """json.dumps fallback for event fields."""
+    return _jsonify(value)

@@ -32,12 +32,29 @@ import numpy as np
 
 from repro.dsp.filters import dc_block_fast
 from repro.dsp.timing import symbol_samples, symbol_sum
+from repro.obs.metrics import counter, histogram
 from repro.phy.frame import FrameConfig, ParsedFrame, parse_frame
 from repro.phy.preamble import (
     PreambleDetection,
     detect_preamble,
     preamble_chips,
     preamble_template,
+)
+
+
+DEMODS_COUNTER = counter(
+    "repro.phy.receiver.demods", "records run through the receive chain"
+)
+DETECT_FAILURES_COUNTER = counter(
+    "repro.phy.receiver.detect_failures", "records with no preamble lock"
+)
+CRC_FAILURES_COUNTER = counter(
+    "repro.phy.receiver.crc_failures",
+    "detected records that yielded no CRC-clean frame",
+)
+SNR_HISTOGRAM = histogram(
+    "repro.phy.receiver.snr_db",
+    help="eye-SNR distribution of detected records, dB",
 )
 
 
@@ -247,9 +264,11 @@ class ReaderReceiver:
 
     def demodulate(self, record: np.ndarray) -> DemodResult:
         """Run the full chain on a baseband record."""
+        DEMODS_COUNTER.inc()
         centred = self.suppress_carrier(record)
         detection = self.find_preamble(centred)
         if detection is None:
+            DETECT_FAILURES_COUNTER.inc()
             return DemodResult(
                 frame=None,
                 detection=None,
@@ -337,9 +356,14 @@ class ReaderReceiver:
                 cfo_hz=cfo_hz,
             )
             if result.success:
+                if math.isfinite(result.snr_db):
+                    SNR_HISTOGRAM.observe(result.snr_db)
                 return result
             if best is None or result.snr_db > best.snr_db:
                 best = result
+        CRC_FAILURES_COUNTER.inc()
+        if best is not None and math.isfinite(best.snr_db):
+            SNR_HISTOGRAM.observe(best.snr_db)
         return best
 
 

@@ -22,7 +22,11 @@ from repro.sim.engine import TrialResult, simulate_trial
 from repro.sim.downlink import DownlinkResult, simulate_downlink
 from repro.sim.multinode import MultiNodeResult, NodePlacement, simulate_slot
 from repro.sim.trials import TrialCampaign, run_campaign
-from repro.sim.parallel import run_campaign_parallel, default_workers
+from repro.sim.parallel import (
+    run_campaign_parallel,
+    run_observed_campaign,
+    default_workers,
+)
 from repro.sim.cache import (
     channel_cache_info,
     clear_channel_cache,
@@ -38,7 +42,12 @@ from repro.sim.confidence import (
     wilson_interval,
     zero_error_ber_bound,
 )
-from repro.sim.export import load_campaign, save_campaign
+from repro.sim.export import (
+    load_campaign,
+    load_manifest,
+    save_campaign,
+    save_manifest,
+)
 
 __all__ = [
     "Scenario",
@@ -53,6 +62,7 @@ __all__ = [
     "TrialCampaign",
     "run_campaign",
     "run_campaign_parallel",
+    "run_observed_campaign",
     "default_workers",
     "reader_node_response",
     "clear_channel_cache",
@@ -71,4 +81,6 @@ __all__ = [
     "trials_for_ber_confidence",
     "load_campaign",
     "save_campaign",
+    "load_manifest",
+    "save_manifest",
 ]

@@ -22,12 +22,26 @@ from typing import Tuple
 
 from repro.acoustics.channel import AcousticChannel, ChannelResponse
 from repro.geometry.vec3 import Vec3
+from repro.obs.metrics import counter
 
 _RESPONSE_CACHE: "OrderedDict[tuple, ChannelResponse]" = OrderedDict()
 _RESPONSE_CACHE_MAX = 256
 _ENABLED = True
 _HITS = 0
 _MISSES = 0
+
+# Mirrored into the active metrics registry so campaign manifests and
+# BENCH_*.json surface cache behavior (the module counters below feed
+# the process-wide channel_cache_info view).
+HITS_COUNTER = counter(
+    "repro.sim.cache.hits", "channel-response cache hits"
+)
+MISSES_COUNTER = counter(
+    "repro.sim.cache.misses", "channel-response cache misses (traces)"
+)
+EVICTIONS_COUNTER = counter(
+    "repro.sim.cache.evictions", "LRU evictions from the response cache"
+)
 
 
 def set_channel_cache_enabled(enabled: bool) -> bool:
@@ -84,13 +98,16 @@ def cached_between(
     response = _RESPONSE_CACHE.get(key)
     if response is not None:
         _HITS += 1
+        HITS_COUNTER.inc()
         _RESPONSE_CACHE.move_to_end(key)
         return response
     _MISSES += 1
+    MISSES_COUNTER.inc()
     response = channel.between(source, receiver)
     _RESPONSE_CACHE[key] = response
     if len(_RESPONSE_CACHE) > _RESPONSE_CACHE_MAX:
         _RESPONSE_CACHE.popitem(last=False)
+        EVICTIONS_COUNTER.inc()
     return response
 
 

@@ -1,20 +1,31 @@
-"""Saving and loading campaign results.
+"""Saving and loading campaign results and run manifests.
 
 Benchmarks print their tables, but longitudinal studies (comparing runs
 across code versions, aggregating trials across machines) need results on
-disk. Plain JSON, schema-versioned, round-trip tested.
+disk. Plain JSON, schema-versioned, round-trip tested. Two record kinds:
+
+* **Campaign results** (:func:`save_campaign` / :func:`load_campaign`) —
+  just the aggregated numbers.
+* **Run manifests** (:func:`save_manifest` / :func:`load_manifest`) —
+  the full observability record of a run (seed, scenario snapshots,
+  package version, span timings, metrics, results, event-log pointer);
+  see :class:`repro.obs.manifest.RunManifest`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import math
 from pathlib import Path
 from typing import Union
 
+from repro.obs.manifest import RunManifest
 from repro.sim.results import BERPoint, CampaignResult
 
 SCHEMA_VERSION = 1
+
+MANIFEST_SCHEMA_VERSION = 1
 
 
 def campaign_to_dict(result: CampaignResult) -> dict:
@@ -73,3 +84,33 @@ def save_campaign(result: CampaignResult, path: Union[str, Path]) -> None:
 def load_campaign(path: Union[str, Path]) -> CampaignResult:
     """Read a campaign from a JSON file."""
     return campaign_from_dict(json.loads(Path(path).read_text()))
+
+
+def manifest_to_dict(manifest: RunManifest) -> dict:
+    """Serialise a run manifest to a plain dict (JSON-safe)."""
+    data = {"schema": MANIFEST_SCHEMA_VERSION, "kind": "run-manifest"}
+    data.update(dataclasses.asdict(manifest))
+    return data
+
+
+def manifest_from_dict(data: dict) -> RunManifest:
+    """Rebuild a run manifest from its serialised form."""
+    if data.get("schema") != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported manifest schema {data.get('schema')!r}; "
+            f"this build reads {MANIFEST_SCHEMA_VERSION}"
+        )
+    if data.get("kind") != "run-manifest":
+        raise ValueError(f"not a run manifest: kind={data.get('kind')!r}")
+    fields = {f.name for f in dataclasses.fields(RunManifest)}
+    return RunManifest(**{k: v for k, v in data.items() if k in fields})
+
+
+def save_manifest(manifest: RunManifest, path: Union[str, Path]) -> None:
+    """Write a run manifest to a JSON file."""
+    Path(path).write_text(json.dumps(manifest_to_dict(manifest), indent=2))
+
+
+def load_manifest(path: Union[str, Path]) -> RunManifest:
+    """Read a run manifest from a JSON file."""
+    return manifest_from_dict(json.loads(Path(path).read_text()))

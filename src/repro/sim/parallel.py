@@ -1,4 +1,4 @@
-"""Parallel, cache-warm execution of Monte-Carlo campaigns.
+"""Parallel, cache-warm, observable execution of Monte-Carlo campaigns.
 
 The paper's evidence rests on >1,500 field trials; reproducing that
 statistical weight in simulation means running campaigns orders of
@@ -20,11 +20,21 @@ not once per trial. ``workers=1`` short-circuits to the in-process
 serial path — no pool, no pickling — which is also the fallback when a
 campaign carries a non-picklable factory.
 
+Telemetry rides the same machinery: pass ``tracer=`` (hierarchical
+spans), ``metrics=`` (a registry), and/or ``events=`` (a JSONL event
+log) and each worker chunk collects process-locally, ships its tracer
+and metrics snapshot home with the results, and the parent merges them
+in trial order — so telemetry, like the results, is independent of
+scheduling. :func:`run_observed_campaign` bundles all of it and emits a
+:class:`~repro.obs.manifest.RunManifest`.
+
 Example::
 
     scenarios = sweep_range(Scenario.river(), log_ranges(50, 600, 8))
-    result = run_campaign_parallel(
-        scenarios, TrialCampaign(trials_per_point=250), workers=4
+    result, manifest = run_observed_campaign(
+        scenarios, TrialCampaign(trials_per_point=250), workers=4,
+        manifest_path="river.manifest.json",
+        events_path="river.events.jsonl",
     )
 """
 
@@ -32,14 +42,33 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from typing import List, Optional, Sequence, Tuple
 
+from repro.obs.manifest import EventLog, RunManifest, scenario_snapshot
+from repro.obs.metrics import MetricsRegistry, counter, gauge, use_registry
+from repro.obs.spans import SpanTracer, collect_spans
 from repro.sim.engine import TrialResult
-from repro.sim.profiling import StageTimings, collect_stage_timings
+from repro.sim.profiling import StageTimings
 from repro.sim.results import BERPoint, CampaignResult
 from repro.sim.scenario import Scenario
 from repro.sim.trials import TrialCampaign
+
+CHUNKS_COUNTER = counter(
+    "repro.sim.parallel.chunks", "worker chunks dispatched to the pool"
+)
+CAMPAIGNS_COUNTER = counter(
+    "repro.sim.parallel.campaigns", "campaigns executed by the runner"
+)
+WORKERS_GAUGE = gauge(
+    "repro.sim.parallel.workers", "worker processes of the last campaign"
+)
+UTILIZATION_GAUGE = gauge(
+    "repro.sim.parallel.worker_utilization",
+    "pool busy-fraction of the last campaign (chunk-seconds / wall * workers)",
+)
 
 
 def default_workers() -> int:
@@ -73,15 +102,29 @@ def _run_chunk(
     point_index: int,
     start: int,
     stop: int,
-    collect_timings: bool,
-) -> Tuple[int, int, List[TrialResult], Optional[StageTimings]]:
-    """Worker entry: run one contiguous slice of one point's trials."""
-    if collect_timings:
-        with collect_stage_timings() as timings:
-            results = campaign.run_trials(scenario, point_index, start, stop)
-        return point_index, start, results, timings
-    results = campaign.run_trials(scenario, point_index, start, stop)
-    return point_index, start, results, None
+    collect: bool,
+) -> Tuple[int, int, List[TrialResult], Optional[dict]]:
+    """Worker entry: run one contiguous slice of one point's trials.
+
+    When collecting, the chunk's spans land in a fresh tracer and its
+    metrics in a fresh registry; both cross the process boundary with
+    the results so the parent can merge in trial order.
+    """
+    if not collect:
+        return point_index, start, campaign.run_trials(
+            scenario, point_index, start, stop
+        ), None
+    tracer = SpanTracer()
+    registry = MetricsRegistry()
+    t0 = time.perf_counter()
+    with use_registry(registry), collect_spans(tracer):
+        results = campaign.run_trials(scenario, point_index, start, stop)
+    telemetry = {
+        "tracer": tracer,
+        "metrics": registry.as_dict(),
+        "elapsed_s": time.perf_counter() - t0,
+    }
+    return point_index, start, results, telemetry
 
 
 def _is_picklable(campaign: TrialCampaign) -> bool:
@@ -93,6 +136,21 @@ def _is_picklable(campaign: TrialCampaign) -> bool:
         return False
 
 
+def _emit(events: Optional[EventLog], event: str, **fields) -> None:
+    if events is not None:
+        events.emit(event, **fields)
+
+
+def _point_fields(point: BERPoint) -> dict:
+    return {
+        "range_m": point.range_m,
+        "trials": point.trials,
+        "ber": point.ber,
+        "frame_success_rate": point.frame_success_rate,
+        "detection_rate": point.detection_rate,
+    }
+
+
 def run_campaign_parallel(
     scenarios: Sequence[Scenario],
     campaign: Optional[TrialCampaign] = None,
@@ -100,6 +158,9 @@ def run_campaign_parallel(
     workers: Optional[int] = None,
     timings: Optional[StageTimings] = None,
     pool: Optional[ProcessPoolExecutor] = None,
+    tracer: Optional[SpanTracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
 ) -> CampaignResult:
     """Run a campaign with trials fanned out across worker processes.
 
@@ -109,84 +170,248 @@ def run_campaign_parallel(
         label: name recorded on the result.
         workers: process count; ``None`` = :func:`default_workers`,
             ``1`` = serial in-process execution (no pool).
-        timings: optional per-stage timing accumulator; when given,
-            workers time their engine stages and the totals are merged
-            into it (serial path collects in-process).
+        timings: optional flat per-stage timing accumulator (legacy
+            view); when given, workers time their engine stages and the
+            leaf totals are merged into it.
         pool: an existing executor to reuse (left open on return).
             Back-to-back campaigns — sweeps over sweeps, the perf
             harness's timed arms — amortise worker startup and keep
             worker caches warm by sharing one pool. Omitted, a pool is
             created and torn down per call.
+        tracer: optional hierarchical span tracer; worker-chunk spans
+            are merged into it in trial order.
+        metrics: optional metrics registry; worker-chunk metric
+            snapshots are merged into it in trial order, and the runner
+            records its own instruments (chunks, workers, utilization)
+            there too.
+        events: optional JSONL event log; the runner emits
+            ``campaign_start`` / ``chunk_done`` / ``point_end`` /
+            ``campaign_end`` events as the run progresses.
 
     Returns:
         Aggregated results, one :class:`BERPoint` per scenario, in
         order — bit-identical to :func:`repro.sim.trials.run_campaign`
-        for the same campaign seed.
+        for the same campaign seed, with or without telemetry.
     """
     if campaign is None:
         campaign = TrialCampaign()
     if workers is None:
         workers = default_workers()
-    collect = timings is not None
 
-    if (
-        pool is None
-        and (workers <= 1 or len(scenarios) == 0 or not _is_picklable(campaign))
-    ):
-        out = CampaignResult(label=label)
-        for i, scenario in enumerate(scenarios):
-            if collect:
-                with collect_stage_timings() as point_timings:
-                    point = campaign.run_point(scenario, point_index=i)
-                timings.merge(point_timings)
-            else:
-                point = campaign.run_point(scenario, point_index=i)
-            out.add(point)
-        return out
+    # Telemetry sinks. The flat `timings` view folds out of a span
+    # tracer, so one chunk-side collection feeds every sink.
+    span_sinks: List[SpanTracer] = []
+    if tracer is not None:
+        span_sinks.append(tracer)
+    fold_tracer = SpanTracer() if timings is not None else None
+    if fold_tracer is not None:
+        span_sinks.append(fold_tracer)
+    collect = bool(span_sinks) or metrics is not None
+    t_start = time.perf_counter()
 
-    own_pool = pool is None
-    if own_pool:
-        pool = ProcessPoolExecutor(max_workers=workers)
+    serial = pool is None and (
+        workers <= 1 or len(scenarios) == 0 or not _is_picklable(campaign)
+    )
+    effective_workers = 1 if serial else workers
+    _emit(
+        events,
+        "campaign_start",
+        label=label,
+        points=len(scenarios),
+        trials_per_point=campaign.trials_per_point,
+        seed=campaign.seed,
+        workers=effective_workers,
+    )
+
     try:
-        # Oversplit so a straggling chunk (one worker hitting a
-        # detection-failure-heavy slice) doesn't serialise the campaign
-        # behind it — but keep the total future count near 4x the worker
-        # count: every chunk pays a pickle/dispatch round trip, and on
-        # multi-point sweeps the points themselves already provide
-        # interleaving.
-        chunk_budget = max(workers * 4, 1)
-        chunks_per_point = max(
-            1,
-            min(
-                campaign.trials_per_point,
-                workers * 2,
-                -(-chunk_budget // max(len(scenarios), 1)),
-            ),
-        )
-        jobs = []
-        for i, scenario in enumerate(scenarios):
-            for start, stop in split_evenly(
-                campaign.trials_per_point, chunks_per_point
-            ):
-                jobs.append(
-                    pool.submit(
-                        _run_chunk, campaign, scenario, i, start, stop, collect
+        if serial:
+            out = CampaignResult(label=label)
+            for i, scenario in enumerate(scenarios):
+                t0 = time.perf_counter()
+                if collect:
+                    point_tracer = SpanTracer()
+                    metrics_ctx = (
+                        use_registry(metrics)
+                        if metrics is not None
+                        else nullcontext()
                     )
+                    with metrics_ctx, collect_spans(point_tracer):
+                        point = campaign.run_point(scenario, point_index=i)
+                    for sink in span_sinks:
+                        sink.merge(point_tracer)
+                else:
+                    point = campaign.run_point(scenario, point_index=i)
+                out.add(point)
+                _emit(
+                    events,
+                    "point_end",
+                    point=i,
+                    elapsed_s=round(time.perf_counter() - t0, 6),
+                    **_point_fields(point),
                 )
-        per_point: dict = {i: [] for i in range(len(scenarios))}
-        for job in jobs:
-            point_index, start, results, chunk_timings = job.result()
-            per_point[point_index].append((start, results))
-            if collect and chunk_timings is not None:
-                timings.merge(chunk_timings)
-    finally:
-        if own_pool:
-            pool.shutdown()
+        else:
+            own_pool = pool is None
+            if own_pool:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            busy_s = 0.0
+            point_busy_s = {i: 0.0 for i in range(len(scenarios))}
+            try:
+                # Oversplit so a straggling chunk (one worker hitting a
+                # detection-failure-heavy slice) doesn't serialise the
+                # campaign behind it — but keep the total future count
+                # near 4x the worker count: every chunk pays a
+                # pickle/dispatch round trip, and on multi-point sweeps
+                # the points themselves already provide interleaving.
+                chunk_budget = max(workers * 4, 1)
+                chunks_per_point = max(
+                    1,
+                    min(
+                        campaign.trials_per_point,
+                        workers * 2,
+                        -(-chunk_budget // max(len(scenarios), 1)),
+                    ),
+                )
+                jobs = []
+                for i, scenario in enumerate(scenarios):
+                    for start, stop in split_evenly(
+                        campaign.trials_per_point, chunks_per_point
+                    ):
+                        jobs.append(
+                            pool.submit(
+                                _run_chunk, campaign, scenario, i, start,
+                                stop, collect,
+                            )
+                        )
+                per_point: dict = {i: [] for i in range(len(scenarios))}
+                # Iterate in submission (= trial) order so telemetry
+                # merges are as deterministic as the results.
+                for job in jobs:
+                    point_index, start, results, telemetry = job.result()
+                    per_point[point_index].append((start, results))
+                    chunk_elapsed = None
+                    if telemetry is not None:
+                        for sink in span_sinks:
+                            sink.merge(telemetry["tracer"])
+                        if metrics is not None:
+                            metrics.merge_snapshot(telemetry["metrics"])
+                        chunk_elapsed = telemetry["elapsed_s"]
+                        busy_s += chunk_elapsed
+                        point_busy_s[point_index] += chunk_elapsed
+                    _emit(
+                        events,
+                        "chunk_done",
+                        point=point_index,
+                        start=start,
+                        trials=len(results),
+                        elapsed_s=chunk_elapsed,
+                    )
+            finally:
+                if own_pool:
+                    pool.shutdown()
 
-    out = CampaignResult(label=label)
-    for i in range(len(scenarios)):
-        ordered: List[TrialResult] = []
-        for _, results in sorted(per_point[i], key=lambda item: item[0]):
-            ordered.extend(results)
-        out.add(BERPoint.from_trials(ordered))
+            out = CampaignResult(label=label)
+            for i in range(len(scenarios)):
+                ordered: List[TrialResult] = []
+                for _, results in sorted(per_point[i], key=lambda item: item[0]):
+                    ordered.extend(results)
+                point = BERPoint.from_trials(ordered)
+                out.add(point)
+                _emit(
+                    events,
+                    "point_end",
+                    point=i,
+                    elapsed_s=(
+                        round(point_busy_s[i], 6) if collect else None
+                    ),
+                    **_point_fields(point),
+                )
+            if metrics is not None:
+                wall = time.perf_counter() - t_start
+                with use_registry(metrics):
+                    CHUNKS_COUNTER.inc(len(jobs))
+                    UTILIZATION_GAUGE.set(
+                        busy_s / (wall * workers) if wall > 0 else 0.0
+                    )
+    finally:
+        if timings is not None and fold_tracer is not None:
+            timings.merge_tracer(fold_tracer)
+
+    if metrics is not None:
+        with use_registry(metrics):
+            CAMPAIGNS_COUNTER.inc()
+            WORKERS_GAUGE.set(effective_workers)
+    _emit(
+        events,
+        "campaign_end",
+        label=label,
+        elapsed_s=round(time.perf_counter() - t_start, 6),
+        total_trials=out.total_trials,
+    )
     return out
+
+
+def run_observed_campaign(
+    scenarios: Sequence[Scenario],
+    campaign: Optional[TrialCampaign] = None,
+    label: str = "campaign",
+    workers: Optional[int] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
+    manifest_path=None,
+    events_path=None,
+) -> Tuple[CampaignResult, RunManifest]:
+    """Run a campaign with full telemetry and return (result, manifest).
+
+    The manifest captures the seed, scenario snapshots, package
+    version, span timings, and metrics of the run; pass
+    ``manifest_path`` to persist it (JSON, see
+    :func:`repro.sim.export.save_manifest`) and ``events_path`` to
+    stream a JSONL event log alongside. Results remain bit-identical
+    to the unobserved runners.
+    """
+    from repro import __version__
+    from repro.sim.export import campaign_to_dict, save_manifest
+
+    if campaign is None:
+        campaign = TrialCampaign()
+    if workers is None:
+        workers = default_workers()
+    tracer = SpanTracer()
+    metrics = MetricsRegistry()
+    events = EventLog(events_path) if events_path is not None else None
+    created = time.time()
+    t0 = time.perf_counter()
+    try:
+        result = run_campaign_parallel(
+            scenarios,
+            campaign,
+            label=label,
+            workers=workers,
+            pool=pool,
+            tracer=tracer,
+            metrics=metrics,
+            events=events,
+        )
+    finally:
+        if events is not None:
+            events.close()
+    manifest = RunManifest(
+        label=label,
+        seed=campaign.seed,
+        version=__version__,
+        created_unix=round(created, 6),
+        elapsed_s=round(time.perf_counter() - t0, 6),
+        workers=workers,
+        campaign={
+            "trials_per_point": campaign.trials_per_point,
+            "payload_bytes": campaign.payload_bytes,
+            "si_suppression_db": campaign.si_suppression_db,
+        },
+        scenarios=[scenario_snapshot(s) for s in scenarios],
+        timings=tracer.as_dict(),
+        metrics=metrics.as_dict(),
+        results=campaign_to_dict(result),
+        events_path=str(events_path) if events_path is not None else None,
+    )
+    if manifest_path is not None:
+        save_manifest(manifest, manifest_path)
+    return result, manifest

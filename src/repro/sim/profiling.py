@@ -1,11 +1,13 @@
 """Per-stage wall-clock accounting for the waveform engine.
 
-The perf harness needs to know *where* a trial's time goes — channel
-application, array reflection, noise synthesis, or reader DSP — both to
-verify an optimization landed and to localize a regression. The engine
-brackets each stage with :func:`stage`; when no collector is installed
-that is a single global read, so campaigns pay nothing for the
-instrumentation.
+Since the observability layer landed, this module is a thin
+compatibility facade over :mod:`repro.obs.spans`: :func:`stage` *is* a
+hierarchical span (the engine's ``channel``/``reflect``/``noise``/
+``demod`` brackets nest under the ``trial``/``point``/``campaign``
+spans the campaign runners open), and :func:`collect_stage_timings`
+installs a tracer and folds its leaf totals into the familiar flat
+:class:`StageTimings` view. When no tracer is installed, a bracket is a
+single global read — campaigns pay nothing for the instrumentation.
 
 Usage::
 
@@ -15,20 +17,26 @@ Usage::
 
 Collectors are process-local. The parallel campaign runner installs one
 per worker chunk and merges the results (see
-:func:`repro.sim.parallel.run_campaign_parallel`).
+:func:`repro.sim.parallel.run_campaign_parallel`). For the full
+hierarchical view (per-path rather than per-stage), collect with
+:func:`repro.obs.spans.collect_spans` instead.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
+from repro.obs.spans import SpanTracer, collect_spans, span
+
+stage = span
+"""Bracket one engine stage; no-op when no collector is installed."""
+
 
 @dataclass
 class StageTimings:
-    """Accumulated wall-clock per engine stage.
+    """Accumulated wall-clock per engine stage (flat, leaf-name keyed).
 
     Attributes:
         totals_s: stage name -> accumulated seconds.
@@ -50,6 +58,14 @@ class StageTimings:
         for name, count in other.counts.items():
             self.counts[name] = self.counts.get(name, 0) + count
 
+    def merge_tracer(self, tracer: SpanTracer) -> None:
+        """Fold a span tracer's leaf-aggregated totals into this view."""
+        totals, counts = tracer.leaf_totals()
+        for name, total in totals.items():
+            self.totals_s[name] = self.totals_s.get(name, 0.0) + total
+        for name, count in counts.items():
+            self.counts[name] = self.counts.get(name, 0) + count
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """JSON-friendly view: {stage: {total_s, count, mean_ms}}."""
         return {
@@ -64,34 +80,21 @@ class StageTimings:
         }
 
 
-_ACTIVE: Optional[StageTimings] = None
-
-
 @contextmanager
 def collect_stage_timings(
     timings: Optional[StageTimings] = None,
 ) -> Iterator[StageTimings]:
-    """Install a collector for the duration of the block (re-entrant)."""
-    global _ACTIVE
+    """Install a collector for the duration of the block (re-entrant).
+
+    Spans entered inside the block land in a fresh tracer (shadowing
+    any outer collector, as before); on exit the tracer's leaf totals
+    are folded into ``timings``.
+    """
     if timings is None:
         timings = StageTimings()
-    previous = _ACTIVE
-    _ACTIVE = timings
+    tracer = SpanTracer()
     try:
-        yield timings
+        with collect_spans(tracer):
+            yield timings
     finally:
-        _ACTIVE = previous
-
-
-@contextmanager
-def stage(name: str) -> Iterator[None]:
-    """Bracket one engine stage; no-op when no collector is installed."""
-    collector = _ACTIVE
-    if collector is None:
-        yield
-        return
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
-        collector.add(name, time.perf_counter() - t0)
+        timings.merge_tracer(tracer)

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.spans import span
 from repro.phy.frame import FrameConfig
 from repro.phy.receiver import ReaderReceiver
 from repro.sim.cache import reader_node_response
@@ -83,27 +84,29 @@ class TrialCampaign:
         response = reader_node_response(scenario)
         results: List[TrialResult] = []
         for child in children:
-            rng = np.random.default_rng(child)
-            payload = bytes(
-                rng.integers(0, 256, size=self.payload_bytes, dtype=np.uint8)
-            )
-            results.append(
-                simulate_trial(
-                    scenario,
-                    node=node,
-                    payload=payload,
-                    rng=rng,
-                    frame_config=self.frame_config,
-                    receiver=receiver,
-                    si_suppression_db=self.si_suppression_db,
-                    response=response,
+            with span("trial"):
+                rng = np.random.default_rng(child)
+                payload = bytes(
+                    rng.integers(0, 256, size=self.payload_bytes, dtype=np.uint8)
                 )
-            )
+                results.append(
+                    simulate_trial(
+                        scenario,
+                        node=node,
+                        payload=payload,
+                        rng=rng,
+                        frame_config=self.frame_config,
+                        receiver=receiver,
+                        si_suppression_db=self.si_suppression_db,
+                        response=response,
+                    )
+                )
         return results
 
     def run_point(self, scenario: Scenario, point_index: int = 0) -> BERPoint:
         """Run all trials at one operating point and aggregate."""
-        return BERPoint.from_trials(self.run_trials(scenario, point_index))
+        with span("point"):
+            return BERPoint.from_trials(self.run_trials(scenario, point_index))
 
 
 def run_campaign(
@@ -124,6 +127,7 @@ def run_campaign(
     if campaign is None:
         campaign = TrialCampaign()
     out = CampaignResult(label=label)
-    for i, scenario in enumerate(scenarios):
-        out.add(campaign.run_point(scenario, point_index=i))
+    with span("campaign"):
+        for i, scenario in enumerate(scenarios):
+            out.add(campaign.run_point(scenario, point_index=i))
     return out

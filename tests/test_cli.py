@@ -48,6 +48,53 @@ class TestSweep:
         assert "max range at BER<=1e-3" in out
         assert out.count("\n") >= 4
 
+    def test_workers_do_not_change_the_table(self, capsys):
+        argv = [
+            "sweep", "--start", "40", "--stop", "120",
+            "--points", "2", "--trials", "2",
+        ]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+
+class TestObsReport:
+    def test_sweep_manifest_then_report(self, capsys, tmp_path):
+        manifest = tmp_path / "run.manifest.json"
+        events = tmp_path / "run.events.jsonl"
+        code = main([
+            "sweep", "--start", "40", "--stop", "120",
+            "--points", "2", "--trials", "2",
+            "--manifest", str(manifest), "--events", str(events),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"manifest: {manifest}" in out
+        assert manifest.exists() and events.exists()
+
+        assert main(["obs", "report", str(manifest)]) == 0
+        report = capsys.readouterr().out
+        assert "=== run: river (seed 1) ===" in report
+        assert "--- per-stage breakdown ---" in report
+        assert "--- per-point breakdown ---" in report
+        assert "--- metrics ---" in report
+        for stage in ("channel", "demod", "noise", "reflect"):
+            assert stage in report
+        # Per-point wall clocks come from the event log referenced by
+        # the manifest; with the log present no wall_s cell is empty.
+        point_section = report.split("--- per-point breakdown ---")[1]
+        assert "wall_s" in point_section
+
+    def test_report_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["obs", "report", str(tmp_path / "nope.json")])
+
+    def test_report_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
 
 class TestPattern:
     def test_table_shape(self, capsys):

@@ -15,6 +15,7 @@ import pytest
 from repro.acoustics.noise import NoiseConditions, total_noise_psd_db
 from repro.core import Scenario
 from repro.dsp import noisegen
+from repro.obs import MetricsRegistry, SpanTracer
 from repro.sim import cache
 from repro.sim.parallel import run_campaign_parallel, split_evenly
 from repro.sim.profiling import StageTimings
@@ -96,6 +97,59 @@ class TestParallelDeterminism:
         for stage in ("channel", "reflect", "noise", "demod"):
             assert report[stage]["count"] >= 2
             assert report[stage]["total_s"] >= 0.0
+
+    def test_telemetry_does_not_perturb_results(self):
+        scenarios = sweep_range(Scenario.river(), RANGES)
+        campaign = TrialCampaign(trials_per_point=6, seed=2023)
+        bare = run_campaign(scenarios, campaign, label="obs")
+        tracer = SpanTracer()
+        metrics = MetricsRegistry()
+        timings = StageTimings()
+        observed = run_campaign_parallel(
+            scenarios, campaign, label="obs", workers=4,
+            tracer=tracer, metrics=metrics, timings=timings,
+        )
+        # Full telemetry on, fanned out over 4 workers: still identical.
+        assert observed.points == bare.points
+
+    def test_worker_merged_spans_match_serial_counts(self):
+        scenarios = sweep_range(Scenario.river(), RANGES)
+        campaign = TrialCampaign(trials_per_point=6, seed=17)
+        serial_tracer = SpanTracer()
+        run_campaign_parallel(
+            scenarios, campaign, workers=1, tracer=serial_tracer
+        )
+        parallel_tracer = SpanTracer()
+        run_campaign_parallel(
+            scenarios, campaign, workers=4, tracer=parallel_tracer
+        )
+        # Wall-clocks differ across processes, but the counts — how many
+        # times each stage ran — must agree leaf-for-leaf. (The serial
+        # path has a `point` root span the trial-slice workers don't;
+        # every shared stage below it must match exactly.)
+        _, serial_counts = serial_tracer.leaf_totals()
+        _, parallel_counts = parallel_tracer.leaf_totals()
+        for stage in ("trial", "channel", "reflect", "noise", "demod"):
+            assert parallel_counts[stage] == serial_counts[stage]
+        assert serial_counts["trial"] == 2 * 6
+
+    def test_parallel_metrics_match_serial_totals(self):
+        cache.clear_channel_cache()
+        scenarios = sweep_range(Scenario.river(), RANGES)
+        campaign = TrialCampaign(trials_per_point=4, seed=3)
+        serial_metrics = MetricsRegistry()
+        run_campaign_parallel(
+            scenarios, campaign, workers=1, metrics=serial_metrics
+        )
+        parallel_metrics = MetricsRegistry()
+        run_campaign_parallel(
+            scenarios, campaign, workers=2, metrics=parallel_metrics
+        )
+        name = "repro.phy.receiver.demods"
+        assert serial_metrics.counters[name] >= 8
+        assert parallel_metrics.counters[name] == serial_metrics.counters[name]
+        assert parallel_metrics.counters["repro.sim.parallel.chunks"] >= 2
+        assert parallel_metrics.gauges["repro.sim.parallel.workers"] == 2
 
 
 class TestChannelCache:

@@ -13,9 +13,12 @@ Measures trials/sec of three execution arms on the same seeded campaign
   ``ProcessPoolExecutor``.
 
 Also records per-stage wall-clock (channel / reflect / noise / demod)
-via :mod:`repro.sim.profiling` and verifies the parallel arm is
-bit-identical to the serial one, then writes everything to
-``BENCH_1.json`` — the file the perf-regression check diffs against.
+via :mod:`repro.sim.profiling`, the run's metrics-registry snapshot
+(cache hits/misses, receiver failures, pool utilization — see
+:mod:`repro.obs.metrics`), and verifies the parallel arm is
+bit-identical to the serial one, then writes everything to the next
+``BENCH_<n>.json`` — the files ``tools/bench_compare.py`` diffs to
+machine-check the perf trajectory.
 
 Run from the repository root::
 
@@ -44,6 +47,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.dsp import noisegen
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import cache
 from repro.sim.engine import simulate_trial
 from repro.sim.parallel import run_campaign_parallel
@@ -53,6 +57,23 @@ from repro.sim.sweep import sweep_range
 from repro.sim.trials import TrialCampaign, run_campaign
 
 DEFAULT_RANGES_M = [50.0, 150.0, 250.0, 330.0, 450.0, 600.0]
+
+
+def bench_paths(root: Path) -> List[Path]:
+    """Existing BENCH_<n>.json files under ``root``, ordered by n."""
+    indexed = []
+    for path in root.glob("BENCH_*.json"):
+        suffix = path.stem[len("BENCH_"):]
+        if suffix.isdigit():
+            indexed.append((int(suffix), path))
+    return [path for _, path in sorted(indexed)]
+
+
+def next_bench_path(root: Path) -> Path:
+    """The next free BENCH_<n>.json slot (keeps the perf trajectory)."""
+    existing = bench_paths(root)
+    n = int(existing[-1].stem[len("BENCH_"):]) + 1 if existing else 1
+    return root / f"BENCH_{n}.json"
 
 
 @contextmanager
@@ -117,6 +138,7 @@ def run_bench(
     ranges_m: Optional[List[float]] = None,
     workers: int = 4,
     seed: int = 2023,
+    bench_name: str = "BENCH_1",
 ) -> dict:
     """Run all three arms and return the BENCH record (JSON-ready)."""
     if ranges_m is None:
@@ -135,10 +157,11 @@ def run_bench(
     cache.clear_channel_cache()
     noisegen.clear_noise_cache()
     serial_timings = StageTimings()
+    serial_metrics = MetricsRegistry()
     t0 = time.perf_counter()
     serial = run_campaign_parallel(
         scenarios, campaign, label="bench-serial", workers=1,
-        timings=serial_timings,
+        timings=serial_timings, metrics=serial_metrics,
     )
     serial_arm = _arm(time.perf_counter() - t0, serial.total_trials)
 
@@ -160,8 +183,10 @@ def run_bench(
 
     identical = serial.points == parallel.points
     base_rate = baseline["trials_per_sec"] or 1e-9
+    metrics = serial_metrics.as_dict()
+    counters = metrics["counters"]
     return {
-        "bench": "BENCH_1",
+        "bench": bench_name,
         "name": "monte-carlo-campaign-engine",
         "config": {
             "trials_per_point": trials_per_point,
@@ -183,6 +208,12 @@ def run_bench(
             ),
         },
         "stage_timings": serial_timings.as_dict(),
+        "metrics": metrics,
+        "cache": {
+            "hits": counters.get("repro.sim.cache.hits", 0),
+            "misses": counters.get("repro.sim.cache.misses", 0),
+            "evictions": counters.get("repro.sim.cache.evictions", 0),
+        },
         "parallel_bit_identical": identical,
     }
 
@@ -197,8 +228,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="parallel arm worker processes (default 4)")
     parser.add_argument("--seed", type=int, default=2023,
                         help="campaign master seed (default 2023)")
-    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_1.json",
-                        help="output JSON path (default BENCH_1.json)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path (default: the next free "
+                             "BENCH_<n>.json at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny-N sanity run; prints but does not write")
     args = parser.parse_args(argv)
@@ -208,17 +240,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--points must be >= 1")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.out is None:
+        args.out = next_bench_path(REPO_ROOT)
 
     if args.smoke:
         record = run_bench(trials_per_point=3, ranges_m=[50.0, 330.0],
-                           workers=2, seed=args.seed)
+                           workers=2, seed=args.seed, bench_name="BENCH_smoke")
     else:
         ranges = list(np.interp(
             np.linspace(0, len(DEFAULT_RANGES_M) - 1, args.points),
             np.arange(len(DEFAULT_RANGES_M)), DEFAULT_RANGES_M,
         )) if args.points != len(DEFAULT_RANGES_M) else list(DEFAULT_RANGES_M)
         record = run_bench(trials_per_point=args.trials, ranges_m=ranges,
-                           workers=args.workers, seed=args.seed)
+                           workers=args.workers, seed=args.seed,
+                           bench_name=args.out.stem)
 
     print(json.dumps(record, indent=2))
     if not args.smoke:

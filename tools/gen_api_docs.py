@@ -47,16 +47,50 @@ after mutating water/surface tables in place.
 Per-stage wall-clock (channel / reflect / noise / demod) is available
 via `collect_stage_timings` or the `timings=` argument. The perf
 harness `tools/bench_perf.py` times the seed-style serial path against
-the cached serial and parallel engines and writes `BENCH_1.json`
-(arms `seed_baseline` / `optimized_serial` / `optimized_parallel`, each
-with `elapsed_s`, `trials`, `trials_per_sec`, plus `speedup`,
-`stage_timings`, and a `parallel_bit_identical` flag). A tiny-N smoke
-of the same harness runs in the test suite under the `bench_smoke`
-marker (`pytest -m bench_smoke`).
+the cached serial and parallel engines and writes the next
+`BENCH_<n>.json` (arms `seed_baseline` / `optimized_serial` /
+`optimized_parallel`, each with `elapsed_s`, `trials`,
+`trials_per_sec`, plus `speedup`, `stage_timings`, the run's `metrics`
+snapshot with a `cache` hit/miss summary, and a
+`parallel_bit_identical` flag); `tools/bench_compare.py` diffs
+consecutive records and exits non-zero when an optimized arm's
+trials/sec regressed by more than 20%. A tiny-N smoke of the same
+harness runs in the test suite under the `bench_smoke` marker
+(`pytest -m bench_smoke`).
+
+## Observability
+
+`repro.obs` instruments the campaign path; everything is zero-cost
+when unused and merges deterministically (in trial order) under the
+parallel runner:
+
+- **Spans** — `span(name)` brackets nested work; `collect_spans`
+  installs a `SpanTracer` that aggregates `path -> (total_s, count)`.
+  The engine emits `campaign > point > trial >
+  channel/reflect/noise/demod`.
+- **Metrics** — `counter` / `gauge` / `histogram` return named
+  instrument handles writing into the active `MetricsRegistry`
+  (swap one in with `use_registry`). Engine instruments:
+  `repro.sim.cache.*`, `repro.sim.parallel.*`, `repro.phy.receiver.*`,
+  `repro.link.stats.*`.
+- **Manifests + events** — `run_observed_campaign(...)` returns
+  `(CampaignResult, RunManifest)` and optionally persists the manifest
+  (`save_manifest` / `load_manifest` in `repro.sim.export`,
+  schema-checked round trip) plus a JSONL `EventLog`
+  (`campaign_start` / `chunk_done` / `point_end` / `campaign_end`).
+
+Render a recorded run with the CLI::
+
+    python -m repro sweep --manifest run.json --events run.jsonl
+    python -m repro obs report run.json
+
+The E-series benchmarks emit the same artifacts per campaign when
+`VAB_OBS_DIR=<dir>` is set.
 """
 
 PACKAGES = [
     "repro.core",
+    "repro.obs",
     "repro.geometry",
     "repro.acoustics",
     "repro.dsp",
