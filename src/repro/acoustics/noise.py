@@ -115,7 +115,7 @@ def total_noise_psd_db(frequency_hz: float, conditions: NoiseConditions) -> floa
         wenz_wind_psd_db(frequency_hz, conditions.wind_speed_mps),
         wenz_thermal_psd_db(frequency_hz),
     )
-    linear = sum(10.0 ** (c / 10.0) for c in components_db)
+    linear = sum(10.0 ** (c_db / 10.0) for c_db in components_db)
     return 10.0 * math.log10(linear)
 
 
@@ -136,25 +136,25 @@ def total_noise_psd_db_array(
         raise ValueError("wind speed must be non-negative")
     f_khz = np.maximum(np.asarray(frequencies_hz, dtype=np.float64), 1e-3) / 1e3
     log_f = np.log10(f_khz)
-    turbulence = 17.0 - 30.0 * log_f
-    shipping = (
+    turbulence_db = 17.0 - 30.0 * log_f
+    shipping_db = (
         40.0
         + 20.0 * (conditions.shipping - 0.5)
         + 26.0 * log_f
         - 60.0 * np.log10(f_khz + 0.03)
     )
-    wind = (
+    wind_db = (
         50.0
         + 7.5 * math.sqrt(conditions.wind_speed_mps)
         + 20.0 * log_f
         - 40.0 * np.log10(f_khz + 0.4)
     )
-    thermal = -15.0 + 20.0 * log_f
+    thermal_db = -15.0 + 20.0 * log_f
     linear = (
-        10.0 ** (turbulence / 10.0)
-        + 10.0 ** (shipping / 10.0)
-        + 10.0 ** (wind / 10.0)
-        + 10.0 ** (thermal / 10.0)
+        10.0 ** (turbulence_db / 10.0)
+        + 10.0 ** (shipping_db / 10.0)
+        + 10.0 ** (wind_db / 10.0)
+        + 10.0 ** (thermal_db / 10.0)
     )
     return 10.0 * np.log10(linear)
 

@@ -70,5 +70,5 @@ def amplitude_gain(
     spreading_exponent: float = PRACTICAL_EXPONENT,
 ) -> float:
     """Linear pressure-amplitude gain (<1) over a one-way path."""
-    tl = transmission_loss_db(distance_m, frequency_hz, water, spreading_exponent)
-    return 10.0 ** (-tl / 20.0)
+    tl_db = transmission_loss_db(distance_m, frequency_hz, water, spreading_exponent)
+    return 10.0 ** (-tl_db / 20.0)

@@ -1,0 +1,195 @@
+"""Lint orchestration: file discovery, rule execution, fingerprints.
+
+The flow is ``paths -> files -> FileContext -> rules -> findings``,
+with the suppression filter applied last so a ``# vablint: disable=``
+comment silences any rule. :func:`lint_paths` is the everything
+entry point used by ``tools/vablint.py``, the ``repro lint`` CLI
+subcommand, and the perf harness's dirty-tree gate.
+
+A :func:`tree_fingerprint` hashes the exact sources linted together
+with the rule catalogue, so a campaign manifest can record *which* tree
+was clean under *which* rules — byte-level provenance for the
+determinism contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.findings import PARSE_ERROR_RULE, Finding
+from repro.analysis.registry import FileContext, Rule, make_rules, rule_catalogue
+from repro.analysis.suppressions import SuppressionIndex
+
+# Importing the rules module populates the registry as a side effect.
+from repro.analysis import rules as _rules  # noqa: F401
+
+PathLike = Union[str, Path]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+"""The CLI exit-code contract: clean / rule findings / unusable input."""
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced.
+
+    Attributes:
+        findings: rule findings after suppression, sorted by location.
+        errors: parse failures (``VAB000``) — these mean the run could
+            not fully evaluate the tree.
+        files: number of Python files inspected.
+        rules: rule ids that ran.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no findings and no parse errors."""
+        return not self.findings and not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code this report maps to."""
+        if self.errors:
+            return EXIT_ERROR
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        """rule_id -> number of findings."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def discover_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises:
+        FileNotFoundError: when a named path does not exist.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    seen = set()
+    unique: List[Path] = []
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def lint_source(
+    source: str,
+    path: PathLike = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source; returns suppression-filtered findings.
+
+    A syntax error yields a single ``VAB000`` finding rather than
+    raising, so one broken file doesn't hide the rest of a tree.
+    """
+    active = list(rules) if rules is not None else make_rules()
+    try:
+        ctx = FileContext.parse(Path(path), source)
+    except SyntaxError as exc:
+        return [Finding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=PARSE_ERROR_RULE,
+            message=f"could not parse file: {exc.msg}",
+        )]
+    suppressions = SuppressionIndex.from_source(source)
+    findings: List[Finding] = []
+    for rule in active:
+        for finding in rule.check(ctx):
+            if not suppressions.is_suppressed(finding.line, finding.rule_id):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    select: Optional[List[str]] = None,
+    disable: Optional[List[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the registered rules.
+
+    Args:
+        paths: files and/or directories (directories recurse).
+        select: run only these rule ids.
+        disable: drop these rule ids.
+
+    Returns:
+        The aggregate :class:`LintReport`.
+    """
+    active = make_rules(select=select, disable=disable)
+    report = LintReport(rules=[r.rule_id for r in active])
+    for file_path in discover_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            report.errors.append(Finding(
+                path=str(file_path), line=1, col=0,
+                rule_id=PARSE_ERROR_RULE, message=f"could not read file: {exc}",
+            ))
+            continue
+        report.files += 1
+        for finding in lint_source(source, file_path, rules=active):
+            (report.errors if finding.is_error else report.findings).append(finding)
+    report.findings.sort()
+    report.errors.sort()
+    return report
+
+
+def tree_fingerprint(paths: Sequence[PathLike]) -> Dict[str, object]:
+    """Hash the linted tree + rule catalogue + verdict into one record.
+
+    The fingerprint covers the byte content of every file linted and the
+    ids of the rules that ran, so two identical fingerprints mean "the
+    same sources were judged by the same catalogue with the same
+    outcome". Campaign manifests persist this as lint provenance.
+    """
+    report = lint_paths(paths)
+    digest = hashlib.sha256()
+    file_hashes = []
+    for file_path in discover_files(paths):
+        try:
+            data = file_path.read_bytes()
+        except OSError:
+            continue
+        file_hashes.append(
+            (file_path.as_posix(), hashlib.sha256(data).hexdigest())
+        )
+    payload = json.dumps(
+        {"rules": report.rules, "files": file_hashes}, sort_keys=True
+    )
+    digest.update(payload.encode("utf-8"))
+    return {
+        "fingerprint": digest.hexdigest(),
+        "clean": report.clean,
+        "files": report.files,
+        "findings": len(report.findings) + len(report.errors),
+        "rules": report.rules,
+    }

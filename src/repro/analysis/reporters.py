@@ -1,0 +1,59 @@
+"""Render a :class:`~repro.analysis.linter.LintReport` for humans or CI.
+
+Two formats: a compact text listing (default) and a JSON document with
+a stable schema (``{"files", "rules", "clean", "findings": [...],
+"errors": [...], "counts"}``) that the CI lint job and the perf-harness
+gate parse.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.linter import LintReport
+from repro.analysis.registry import rule_catalogue
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable listing; one line per finding plus a summary."""
+    lines = [f.render() for f in report.errors + report.findings]
+    if report.clean:
+        lines.append(
+            f"clean: {report.files} files, "
+            f"{len(report.rules)} rules ({', '.join(report.rules)})"
+        )
+    else:
+        total = len(report.findings) + len(report.errors)
+        by_rule = ", ".join(
+            f"{rule}={n}" for rule, n in report.counts_by_rule().items()
+        )
+        lines.append(f"{total} finding(s) in {report.files} files"
+                     + (f" [{by_rule}]" if by_rule else ""))
+    if verbose:
+        lines.append("")
+        lines.append(render_catalogue())
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable schema, sorted findings)."""
+    return json.dumps(
+        {
+            "files": report.files,
+            "rules": report.rules,
+            "clean": report.clean,
+            "findings": [f.to_dict() for f in report.findings],
+            "errors": [f.to_dict() for f in report.errors],
+            "counts": report.counts_by_rule(),
+        },
+        indent=2,
+        sort_keys=False,
+    ) + "\n"
+
+
+def render_catalogue() -> str:
+    """The rule catalogue as ``VABxxx name — summary`` lines."""
+    lines = []
+    for rule_id, cls in rule_catalogue().items():
+        lines.append(f"{rule_id} {cls.name} — {cls.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Per-line suppression of lint findings.
+
+A violation is silenced by a trailing (or same-line) comment::
+
+    rng = np.random.default_rng()  # vablint: disable=VAB001
+    t0 = time.time()               # vablint: disable=VAB004,VAB002
+    anything_goes()                # vablint: disable=all
+
+The directive applies to findings *reported on that physical line* —
+for a multi-line statement, put it on the line the finding names. A
+file-level opt-out exists for generated or fixture code::
+
+    # vablint: disable-file=VAB003
+    # vablint: disable-file=all
+
+Comments are located with :mod:`tokenize`, so directives inside string
+literals are ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+_LINE_RE = re.compile(r"#\s*vablint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*vablint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+ALL = "all"
+"""Sentinel rule name matching every rule id."""
+
+
+class SuppressionIndex:
+    """Which rules are suppressed on which lines of one file."""
+
+    def __init__(
+        self,
+        by_line: Dict[int, FrozenSet[str]],
+        file_wide: FrozenSet[str],
+    ) -> None:
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan a module's comments for ``vablint:`` directives.
+
+        Unreadable sources (tokenize errors on top of a syntax error)
+        yield an empty index — the parse failure is reported elsewhere.
+        """
+        by_line: Dict[int, Set[str]] = {}
+        file_wide: Set[str] = set()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _FILE_RE.search(tok.string)
+                if match:
+                    file_wide.update(_parse_rule_list(match.group(1)))
+                    continue
+                match = _LINE_RE.search(tok.string)
+                if match:
+                    line = tok.start[0]
+                    by_line.setdefault(line, set()).update(
+                        _parse_rule_list(match.group(1))
+                    )
+        except (tokenize.TokenizeError, IndentationError, SyntaxError):
+            pass
+        return cls(
+            {line: frozenset(rules) for line, rules in by_line.items()},
+            frozenset(file_wide),
+        )
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True when ``rule_id`` findings on ``line`` are silenced."""
+        if ALL in self._file_wide or rule_id in self._file_wide:
+            return True
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return ALL in rules or rule_id in rules
+
+    @property
+    def empty(self) -> bool:
+        """True when the file carries no directives at all."""
+        return not self._by_line and not self._file_wide
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    """Split a ``VAB001,VAB002`` / ``all`` directive payload."""
+    out: Set[str] = set()
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        out.add(ALL if part.lower() == ALL else part.upper())
+    return out

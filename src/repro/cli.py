@@ -9,6 +9,7 @@
     python -m repro trial --site river --range 250
     python -m repro inventory --nodes 8 --q 3
     python -m repro obs report run.json
+    python -m repro lint            # determinism/physics linter (vablint)
 
 Every subcommand prints a plain table to stdout and exits 0 on success;
 they are thin wrappers over the same public API the examples use.
@@ -23,7 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 
-def _site_scenario(args):
+def _site_scenario(args: argparse.Namespace):
     from repro.core import Scenario
 
     if args.site == "river":
@@ -31,7 +32,7 @@ def _site_scenario(args):
     return Scenario.ocean(range_m=args.range, sea_state=args.sea_state)
 
 
-def cmd_budget(args) -> int:
+def cmd_budget(args: argparse.Namespace) -> int:
     """Print the analytic link budget at one operating point."""
     from repro.core import default_vab_budget
 
@@ -51,7 +52,7 @@ def cmd_budget(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
+def cmd_sweep(args: argparse.Namespace) -> int:
     """Monte-Carlo BER sweep across range."""
     from repro.sim.parallel import run_campaign_parallel, run_observed_campaign
     from repro.sim.sweep import log_ranges, sweep_range
@@ -66,6 +67,7 @@ def cmd_sweep(args) -> int:
         result, _ = run_observed_campaign(
             scenarios, campaign, label=args.site, workers=args.workers,
             manifest_path=args.manifest, events_path=args.events,
+            lint_fingerprint=args.lint_fingerprint,
         )
     else:
         result = run_campaign_parallel(
@@ -83,7 +85,7 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_obs_report(args) -> int:
+def cmd_obs_report(args: argparse.Namespace) -> int:
     """Render a run manifest (+ event log) as breakdown tables."""
     from repro.obs.manifest import read_events
     from repro.obs.report import render_report
@@ -99,7 +101,29 @@ def cmd_obs_report(args) -> int:
     return 0
 
 
-def cmd_pattern(args) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the vablint rules over a tree (default: the installed repro)."""
+    import json as json_module
+    from pathlib import Path
+
+    from repro.analysis import (
+        lint_paths, render_catalogue, render_json, render_text, tree_fingerprint,
+    )
+
+    if args.catalogue:
+        print(render_catalogue())
+        return 0
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    if args.fingerprint:
+        record = tree_fingerprint(paths)
+        print(json_module.dumps(record, indent=2))
+        return 0 if record["clean"] else 1
+    report = lint_paths(paths)
+    print(render_json(report) if args.as_json else render_text(report), end="")
+    return report.exit_code
+
+
+def cmd_pattern(args: argparse.Namespace) -> int:
     """Monostatic gain vs incidence angle (Van Atta vs baselines)."""
     from repro.baselines.conventional_array import conventional_monostatic_gain_db
     from repro.vanatta.array import VanAttaArray
@@ -114,7 +138,7 @@ def cmd_pattern(args) -> int:
     return 0
 
 
-def cmd_trial(args) -> int:
+def cmd_trial(args: argparse.Namespace) -> int:
     """One verbose waveform trial."""
     from repro.sim.engine import simulate_trial
 
@@ -130,7 +154,7 @@ def cmd_trial(args) -> int:
     return 0 if result.detected else 1
 
 
-def cmd_adapt(args) -> int:
+def cmd_adapt(args: argparse.Namespace) -> int:
     """Pick the best PHY mode for a node at a range."""
     from repro.core import default_vab_budget
     from repro.link.adaptive import (
@@ -156,7 +180,7 @@ def cmd_adapt(args) -> int:
     return 0
 
 
-def cmd_inventory(args) -> int:
+def cmd_inventory(args: argparse.Namespace) -> int:
     """Command-level inventory of a node population."""
     from repro.link.node_fsm import NodeController
     from repro.link.protocol import CommandLevelInventory
@@ -208,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a run manifest (JSON) here")
     p_sweep.add_argument("--events", default=None, metavar="PATH",
                          help="write a JSONL event log here")
+    p_sweep.add_argument("--lint-fingerprint", action="store_true",
+                         dest="lint_fingerprint",
+                         help="record the library tree's lint fingerprint "
+                              "in the manifest (provenance)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_obs = sub.add_parser("obs", help="observability: inspect run artifacts")
@@ -219,6 +247,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--events", default=None, metavar="PATH",
                           help="event log (default: the manifest's, if present)")
     p_report.set_defaults(func=cmd_obs_report)
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism & physics-invariant linter (vablint)"
+    )
+    p_lint.add_argument("paths", nargs="*", default=None,
+                        help="files/directories (default: the repro package)")
+    p_lint.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON report")
+    p_lint.add_argument("--catalogue", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.add_argument("--fingerprint", action="store_true",
+                        help="print the tree's lint fingerprint "
+                             "(recordable in campaign manifests)")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_pattern = sub.add_parser("pattern", help="retrodirectivity pattern")
     p_pattern.add_argument("--elements", type=int, default=4)

@@ -19,6 +19,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.rng import fallback_rng
+
 _SHAPE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 _SHAPE_CACHE_MAX = 64
 _CACHE_ENABLED = True
@@ -62,13 +64,15 @@ def white_noise(
     Args:
         n: number of samples.
         power: target mean square value E[|x|^2].
-        rng: random generator (a fresh default one if omitted).
+        rng: random generator; thread one from campaign seeds, or the
+            documented process-global fallback stream is used
+            (:func:`repro.rng.fallback_rng`).
         complex_: circular complex noise if True, real if False.
     """
     if power < 0:
         raise ValueError("power must be non-negative")
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng()
     if complex_:
         scale = np.sqrt(power / 2.0)
         return scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
@@ -166,7 +170,9 @@ def colored_noise(
         psd_db_fn: function mapping absolute frequency (Hz) to PSD in
             dB re 1 uPa^2/Hz (or any consistent unit).
         carrier_hz: centre frequency the baseband is referenced to.
-        rng: random generator.
+        rng: random generator; thread one from campaign seeds, or the
+            documented process-global fallback stream is used
+            (:func:`repro.rng.fallback_rng`).
 
     Returns:
         Complex baseband noise samples of length ``n``.
@@ -174,7 +180,7 @@ def colored_noise(
     if n <= 0:
         return np.zeros(0, dtype=np.complex128)
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng()
     # Bin amplitude: each FFT bin spans fs/n Hz of PSD; synthesise unit
     # white bins then scale so E[|x[t]|^2] = integral of PSD.
     bins = rng.standard_normal(n) + 1j * rng.standard_normal(n)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,7 +35,7 @@ class Vec3:
         return Vec3(0.0, 0.0, 0.0)
 
     @staticmethod
-    def from_array(a) -> "Vec3":
+    def from_array(a: Union[Sequence[float], np.ndarray]) -> "Vec3":
         """Build from any length-3 sequence or ``numpy`` array."""
         ax, ay, az = (float(v) for v in a)
         return Vec3(ax, ay, az)

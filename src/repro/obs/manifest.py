@@ -17,7 +17,18 @@ import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, List, Optional, Union
+from typing import IO, Any, List, Optional, Union
+
+
+def wall_clock_unix() -> float:
+    """Current Unix time, for manifest/event timestamping.
+
+    Wall-clock reads are confined to :mod:`repro.obs` (lint rule
+    ``VAB004``): simulation results must never depend on when they run,
+    so sim/phy/acoustics code that needs a timestamp for *telemetry*
+    calls this instead of ``time.time`` directly.
+    """
+    return time.time()
 
 
 @dataclass
@@ -55,6 +66,9 @@ class RunManifest:
     metrics: dict = field(default_factory=dict)
     results: dict = field(default_factory=dict)
     events_path: Optional[str] = None
+    lint: Optional[dict] = None
+    """Optional lint provenance: :func:`repro.analysis.tree_fingerprint`
+    of the library tree that produced the run (clean flag + hash)."""
 
     @property
     def total_trials(self) -> int:
@@ -75,7 +89,7 @@ class EventLog:
         self.path = Path(path)
         self._fh: Optional[IO[str]] = None
 
-    def emit(self, event: str, **fields) -> None:
+    def emit(self, event: str, **fields: Any) -> None:
         """Append one event with the current timestamp."""
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -93,7 +107,7 @@ class EventLog:
     def __enter__(self) -> "EventLog":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
 
@@ -107,7 +121,7 @@ def read_events(path: Union[str, Path]) -> List[dict]:
     return events
 
 
-def scenario_snapshot(scenario) -> dict:
+def scenario_snapshot(scenario: object) -> dict:
     """A JSON-safe snapshot of a scenario's full configuration.
 
     Recursively expands the scenario's nested dataclasses (water,
@@ -128,7 +142,7 @@ def scenario_snapshot(scenario) -> dict:
     return snapshot
 
 
-def _jsonify(value):
+def _jsonify(value: Any) -> Any:
     """Best-effort conversion to JSON-safe types."""
     if isinstance(value, dict):
         return {str(k): _jsonify(v) for k, v in value.items()}
@@ -143,6 +157,6 @@ def _jsonify(value):
     return repr(value)
 
 
-def _json_default(value):
+def _json_default(value: Any) -> Any:
     """json.dumps fallback for event fields."""
     return _jsonify(value)

@@ -10,6 +10,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.rng import fallback_rng
+
 
 def bits_from_bytes(data: bytes) -> np.ndarray:
     """Unpack bytes into an MSB-first bit array."""
@@ -37,11 +39,18 @@ def bits_to_bytes(bits: Sequence[int]) -> bytes:
 
 
 def random_bits(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    """Uniform random bits (deterministic when given a seeded generator)."""
+    """Uniform random bits (deterministic when given a seeded generator).
+
+    Args:
+        n: number of bits.
+        rng: random generator. Campaign code must thread one derived
+            from its trial seeds; omitted, bits draw from the documented
+            process-global stream (:func:`repro.rng.fallback_rng`).
+    """
     if n < 0:
         raise ValueError("n must be non-negative")
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng()
     return rng.integers(0, 2, size=n).astype(np.int64)
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol
 
 import numpy as np
 
@@ -40,6 +40,21 @@ from repro.phy.preamble import (
     preamble_chips,
     preamble_template,
 )
+
+
+class SupportsRates(Protocol):
+    """Anything exposing the sample and chip rates a receiver needs.
+
+    :class:`repro.sim.scenario.Scenario` satisfies this; so does any
+    test double with the two attributes (the receiver is deliberately
+    not coupled to the scenario class).
+    """
+
+    @property
+    def fs(self) -> float: ...  # pragma: no cover - protocol
+
+    @property
+    def chip_rate(self) -> float: ...  # pragma: no cover - protocol
 
 
 DEMODS_COUNTER = counter(
@@ -129,7 +144,10 @@ class ReaderReceiver:
 
     @classmethod
     def for_scenario(
-        cls, scenario, frame_config: Optional[FrameConfig] = None, **overrides
+        cls,
+        scenario: "SupportsRates",
+        frame_config: Optional[FrameConfig] = None,
+        **overrides,
     ) -> "ReaderReceiver":
         """The default receive chain for a scenario's rates.
 

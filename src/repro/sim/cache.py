@@ -18,11 +18,14 @@ editing water/surface tables in place.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 from repro.acoustics.channel import AcousticChannel, ChannelResponse
 from repro.geometry.vec3 import Vec3
 from repro.obs.metrics import counter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.scenario import Scenario
 
 _RESPONSE_CACHE: "OrderedDict[tuple, ChannelResponse]" = OrderedDict()
 _RESPONSE_CACHE_MAX = 256
@@ -111,7 +114,7 @@ def cached_between(
     return response
 
 
-def reader_node_response(scenario) -> ChannelResponse:
+def reader_node_response(scenario: "Scenario") -> ChannelResponse:
     """The (cached) reader->node multipath response of a scenario."""
     return cached_between(
         scenario.channel(), scenario.reader.position, scenario.node.position

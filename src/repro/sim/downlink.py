@@ -24,6 +24,7 @@ from repro.dsp.filters import fir_filter, lowpass_fir
 from repro.dsp.noisegen import colored_noise
 from repro.link.commands import Command, decode_command, encode_command
 from repro.phy.downlink import PIEConfig, pie_decode, pie_encode
+from repro.rng import fallback_rng
 from repro.sim.scenario import Scenario
 
 
@@ -60,7 +61,9 @@ def simulate_downlink(
         scenario: environment and geometry.
         command: the command to send.
         pie: downlink timing (defaults chosen for the detector bandwidth).
-        rng: noise generator.
+        rng: noise generator; thread one from campaign seeds, or the
+            documented process-global fallback stream is used
+            (:func:`repro.rng.fallback_rng`).
         detector_bandwidth_hz: node envelope-detector bandwidth.
         include_noise: add ambient noise at the node.
 
@@ -70,7 +73,7 @@ def simulate_downlink(
     if pie is None:
         pie = PIEConfig()
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng()
     fs = scenario.fs
 
     bits = encode_command(command)
@@ -102,11 +105,11 @@ def simulate_downlink(
     decoded_bits = pie_decode(detected, fs, pie)
     decoded = decode_command(decoded_bits) if len(decoded_bits) else None
 
-    incident_level = 20.0 * np.log10(max(on_level, 1e-12))
+    incident_level_db = 20.0 * np.log10(max(on_level, 1e-12))
     return DownlinkResult(
         sent=command,
         decoded=decoded,
         delivered=bool(decoded == command),
-        incident_level_db=float(incident_level),
+        incident_level_db=float(incident_level_db),
         envelope_contrast=contrast,
     )

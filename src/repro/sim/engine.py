@@ -30,6 +30,7 @@ from repro.phy.ber import ber as ber_of
 from repro.phy.bits import bits_from_bytes
 from repro.phy.frame import FrameConfig, build_frame
 from repro.phy.receiver import DemodResult, ReaderReceiver
+from repro.rng import fallback_rng
 from repro.sim.cache import reader_node_response
 from repro.sim.profiling import stage
 from repro.sim.scenario import Scenario
@@ -90,7 +91,11 @@ def simulate_trial(
         scenario: environment and geometry.
         node: the backscatter node (default VAB node facing the reader).
         payload: payload bytes (default: 8 random bytes).
-        rng: random generator (fresh, unseeded if omitted).
+        rng: random generator. Campaigns must thread one derived from
+            ``TrialCampaign.trial_seeds`` (the bit-identical parallel
+            guarantee depends on it); omitted, draws come from the
+            documented process-global stream
+            (:func:`repro.rng.fallback_rng`).
         frame_config: PHY framing (FM0 default).
         receiver: reader receive chain (built from the scenario if omitted).
         si_leak_db: how far below the source level the static carrier
@@ -110,7 +115,7 @@ def simulate_trial(
         The scored trial.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng()
     if node is None:
         node = VanAttaNode()
     if frame_config is None:

@@ -146,11 +146,11 @@ class LinkBudget:
 
     def noise_level_in_band_db(self) -> float:
         """Effective in-band noise: ambient plus residual SI (linear sum)."""
-        ambient = self.ambient_noise_db()
-        si = self.residual_si_db()
-        if si is None:
-            return ambient
-        linear = 10.0 ** (ambient / 10.0) + 10.0 ** (si / 10.0)
+        ambient_db = self.ambient_noise_db()
+        si_db = self.residual_si_db()
+        if si_db is None:
+            return ambient_db
+        linear = 10.0 ** (ambient_db / 10.0) + 10.0 ** (si_db / 10.0)
         return 10.0 * math.log10(linear)
 
     def processing_gain_db(self) -> float:

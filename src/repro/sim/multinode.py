@@ -25,6 +25,7 @@ import numpy as np
 from repro.dsp.noisegen import colored_noise
 from repro.phy.frame import FrameConfig, build_frame
 from repro.phy.receiver import ReaderReceiver
+from repro.rng import fallback_rng
 from repro.sim.cache import cached_between
 from repro.sim.engine import IDLE_CHIPS_AFTER, IDLE_CHIPS_BEFORE
 from repro.sim.scenario import Scenario
@@ -91,7 +92,9 @@ def simulate_slot(
     Args:
         scenario: environment; each placement overrides the node range.
         placements: the nodes and their slot offsets.
-        rng: noise generator.
+        rng: noise generator; thread one from campaign seeds, or the
+            documented process-global fallback stream is used
+            (:func:`repro.rng.fallback_rng`).
         frame_config: PHY framing shared by all nodes.
         si_leak_db: static carrier leak below the source level.
         system_noise_figure_db: receiver noise figure over ambient.
@@ -105,7 +108,7 @@ def simulate_slot(
     if not placements:
         raise ValueError("need at least one placement")
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng()
     if frame_config is None:
         frame_config = FrameConfig()
 

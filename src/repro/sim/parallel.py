@@ -45,9 +45,10 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
-from typing import List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.obs.manifest import EventLog, RunManifest, scenario_snapshot
+from repro.obs.manifest import EventLog, RunManifest, scenario_snapshot, wall_clock_unix
 from repro.obs.metrics import MetricsRegistry, counter, gauge, use_registry
 from repro.obs.spans import SpanTracer, collect_spans
 from repro.sim.engine import TrialResult
@@ -356,8 +357,9 @@ def run_observed_campaign(
     label: str = "campaign",
     workers: Optional[int] = None,
     pool: Optional[ProcessPoolExecutor] = None,
-    manifest_path=None,
-    events_path=None,
+    manifest_path: Optional[Union[str, Path]] = None,
+    events_path: Optional[Union[str, Path]] = None,
+    lint_fingerprint: bool = False,
 ) -> Tuple[CampaignResult, RunManifest]:
     """Run a campaign with full telemetry and return (result, manifest).
 
@@ -367,6 +369,12 @@ def run_observed_campaign(
     :func:`repro.sim.export.save_manifest`) and ``events_path`` to
     stream a JSONL event log alongside. Results remain bit-identical
     to the unobserved runners.
+
+    With ``lint_fingerprint=True`` the manifest also records the
+    :func:`repro.analysis.tree_fingerprint` of the installed ``repro``
+    tree — a hash of the exact library sources plus a clean/dirty lint
+    verdict, so a result can later be traced to a tree that provably
+    honoured the determinism contract.
     """
     from repro import __version__
     from repro.sim.export import campaign_to_dict, save_manifest
@@ -378,7 +386,7 @@ def run_observed_campaign(
     tracer = SpanTracer()
     metrics = MetricsRegistry()
     events = EventLog(events_path) if events_path is not None else None
-    created = time.time()
+    created = wall_clock_unix()
     t0 = time.perf_counter()
     try:
         result = run_campaign_parallel(
@@ -394,6 +402,11 @@ def run_observed_campaign(
     finally:
         if events is not None:
             events.close()
+    lint_record = None
+    if lint_fingerprint:
+        from repro.analysis import tree_fingerprint
+
+        lint_record = tree_fingerprint([Path(__file__).resolve().parent.parent])
     manifest = RunManifest(
         label=label,
         seed=campaign.seed,
@@ -411,6 +424,7 @@ def run_observed_campaign(
         metrics=metrics.as_dict(),
         results=campaign_to_dict(result),
         events_path=str(events_path) if events_path is not None else None,
+        lint=lint_record,
     )
     if manifest_path is not None:
         save_manifest(manifest, manifest_path)

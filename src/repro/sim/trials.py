@@ -74,7 +74,13 @@ class TrialCampaign:
         the seed engine rebuilt all three inside every trial, which is
         where most of a campaign's non-noise time went.
         """
-        children = self.trial_seeds(point_index)[start:stop]
+        # Generator derivation is hoisted out of the traced per-trial
+        # loop: every trial's stream exists before the first trial runs,
+        # which keeps the seeding contract in one visible place (VAB002).
+        generators = [
+            np.random.default_rng(child)
+            for child in self.trial_seeds(point_index)[start:stop]
+        ]
         node = self.node_factory()
         receiver = (
             self.receiver_factory(scenario)
@@ -83,9 +89,8 @@ class TrialCampaign:
         )
         response = reader_node_response(scenario)
         results: List[TrialResult] = []
-        for child in children:
+        for rng in generators:
             with span("trial"):
-                rng = np.random.default_rng(child)
                 payload = bytes(
                     rng.integers(0, 256, size=self.payload_bytes, dtype=np.uint8)
                 )

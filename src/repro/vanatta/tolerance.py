@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.rng import fallback_rng
 from repro.vanatta.array import VanAttaArray
 from repro.vanatta.retrodirective import monostatic_gain
 
@@ -61,13 +62,15 @@ def perturbed_array(
         base: the nominal array.
         position_sigma_m: RMS element-position error, metres.
         line_phase_sigma_rad: RMS per-pair line phase error, radians.
-        rng: random generator (fresh if omitted).
+        rng: random generator; Monte-Carlo drivers thread a seeded one
+            (see :func:`monte_carlo_gain`), otherwise draws come from
+            the documented fallback stream (:func:`repro.rng.fallback_rng`).
 
     Returns:
         A new array instance with perturbed geometry.
     """
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fallback_rng()
     positions = base.positions_m.copy()
     if position_sigma_m > 0:
         positions = positions + rng.normal(0.0, position_sigma_m, len(positions))
@@ -113,7 +116,7 @@ def monte_carlo_gain(
     if instances < 1:
         raise ValueError("need at least one instance")
     rng = np.random.default_rng(seed)
-    ideal = 20.0 * math.log10(
+    ideal_db = 20.0 * math.log10(
         max(abs(monostatic_gain(base, frequency_hz, theta_deg, sound_speed)), 1e-15)
     )
     gains = np.empty(instances)
@@ -125,7 +128,7 @@ def monte_carlo_gain(
         mean_gain_db=float(gains.mean()),
         std_gain_db=float(gains.std()),
         worst_gain_db=float(gains.min()),
-        loss_vs_ideal_db=float(ideal - gains.mean()),
+        loss_vs_ideal_db=float(ideal_db - gains.mean()),
         instances=instances,
     )
 

@@ -104,15 +104,15 @@ def system_response(
         g = abs(monostatic_gain(array, f, theta_deg, sound_speed))
         arr_gain[i] = 20.0 * math.log10(max(g, 1e-12))
 
-    depth_at_f0 = 20.0 * math.log10(
+    depth_at_f0_db = 20.0 * math.log10(
         max(modulation_depth_for(bvd, f0, z_off=z_off_design), 1e-12)
     )
-    total = element + (depth - depth_at_f0)
+    total = element + (depth - depth_at_f0_db)
     total = total - total.max()
     return SystemResponse(
         frequencies_hz=freqs,
         element_db=element - element.max(),
-        depth_db=depth - depth_at_f0,
+        depth_db=depth - depth_at_f0_db,
         array_db=arr_gain,
         total_db=total,
     )

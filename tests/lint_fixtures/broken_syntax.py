@@ -1,0 +1,3 @@
+"""Parse-error fixture: exercises the VAB000 / exit-2 path."""
+def broken(:
+    pass

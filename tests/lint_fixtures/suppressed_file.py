@@ -1,0 +1,12 @@
+"""Suppression fixture: a file-level disable comment."""
+# vablint: disable-file=VAB001
+import numpy as np
+
+
+def draw() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def legacy() -> float:
+    return float(np.random.random())

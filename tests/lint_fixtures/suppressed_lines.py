@@ -1,0 +1,11 @@
+"""Suppression fixture: per-line disable comments."""
+import numpy as np
+
+
+def draw() -> float:
+    rng = np.random.default_rng()  # vablint: disable=VAB001
+    return float(rng.random())
+
+
+def legacy() -> float:
+    return float(np.random.random())  # vablint: disable=all

@@ -1,0 +1,12 @@
+"""VAB001 fixture: unseeded and legacy global-state RNG calls."""
+import numpy as np
+
+
+def draw_bad():
+    rng = np.random.default_rng()
+    return rng.random()
+
+
+def legacy_bad():
+    np.random.seed(7)
+    return np.random.normal(0.0, 1.0)

@@ -1,0 +1,6 @@
+"""VAB001 clean twin: an explicit ``Generator`` threaded through."""
+import numpy as np
+
+
+def draw_clean(rng: np.random.Generator) -> float:
+    return float(rng.random())

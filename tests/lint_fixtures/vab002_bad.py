@@ -1,0 +1,20 @@
+"""VAB002 fixture: generator construction inside loop bodies."""
+import numpy as np
+
+
+def run_trials(seeds):
+    values = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        values.append(rng.random())
+    return values
+
+
+def run_while(n):
+    total = 0.0
+    count = n
+    while count > 0:
+        gen = np.random.default_rng(count)
+        total += gen.random()
+        count -= 1
+    return total

@@ -1,0 +1,18 @@
+"""VAB002 clean twin: generators hoisted ahead of the loop.
+
+The comprehension is the idiomatic hoist (cf. ``TrialCampaign``):
+comprehensions are not per-trial hot-path loops, so constructing the
+generators there is exactly the "derive all generators up front"
+contract the rule enforces.
+"""
+from typing import List, Sequence
+
+import numpy as np
+
+
+def run_trials(seeds: Sequence[int]) -> List[float]:
+    generators = [np.random.default_rng(seed) for seed in seeds]
+    values = []
+    for rng in generators:
+        values.append(float(rng.random()))
+    return values

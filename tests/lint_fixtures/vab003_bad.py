@@ -1,0 +1,19 @@
+"""VAB003 fixture: unit-suffix arithmetic and naming mismatches."""
+import math
+
+
+def double_conversion(snr_db):
+    return 10.0 * math.log10(snr_db)
+
+
+def unmarked_binding(power):
+    level = 10.0 * math.log10(power)
+    return level
+
+
+def unmarked_linearise(gain):
+    return 10.0 ** (gain / 10.0)
+
+
+def mixed_addition(loss_db, gain_lin):
+    return loss_db + gain_lin

@@ -1,0 +1,15 @@
+"""VAB003 clean twin: unit-disciplined arithmetic."""
+import math
+
+
+def to_db(power_lin: float) -> float:
+    power_db = 10.0 * math.log10(power_lin)
+    return power_db
+
+
+def to_linear(level_db: float) -> float:
+    return 10.0 ** (level_db / 10.0)
+
+
+def budget(loss_db: float, gain_db: float) -> float:
+    return loss_db + gain_db

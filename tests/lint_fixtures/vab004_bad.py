@@ -1,0 +1,11 @@
+"""VAB004 fixture: wall-clock reads in simulation code."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()
+
+
+def today_string():
+    return datetime.now().isoformat()

@@ -1,0 +1,6 @@
+"""VAB004 clean twin: timestamps routed through the telemetry layer."""
+from repro.obs.manifest import wall_clock_unix
+
+
+def stamp() -> float:
+    return wall_clock_unix()

@@ -1,0 +1,19 @@
+"""VAB005 fixture: mutable defaults and missing annotations."""
+
+
+def accumulate(values=[]):
+    values.append(1)
+    return values
+
+
+def untyped(a, b):
+    return a + b
+
+
+class Tracker:
+    def record(self, samples={}):
+        return samples
+
+
+def _private_mutable(extra=list()):
+    return extra

@@ -1,0 +1,15 @@
+"""VAB005 clean twin: annotated public API, no mutable defaults."""
+from typing import Dict, List, Optional
+
+
+def accumulate(values: Optional[List[int]] = None) -> List[int]:
+    out = list(values or [])
+    out.append(1)
+    return out
+
+
+class Tracker:
+    def record(
+        self, samples: Optional[Dict[str, float]] = None
+    ) -> Dict[str, float]:
+        return dict(samples or {})

@@ -46,6 +46,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.analysis import tree_fingerprint
 from repro.dsp import noisegen
 from repro.obs.metrics import MetricsRegistry
 from repro.sim import cache
@@ -74,6 +75,22 @@ def next_bench_path(root: Path) -> Path:
     existing = bench_paths(root)
     n = int(existing[-1].stem[len("BENCH_"):]) + 1 if existing else 1
     return root / f"BENCH_{n}.json"
+
+
+def lint_gate(allow_dirty: bool) -> Optional[dict]:
+    """Lint-fingerprint the library tree before recording a benchmark.
+
+    ``BENCH_<n>.json`` files are the repo's durable perf trajectory;
+    recording one from a tree that fails ``vablint`` (non-deterministic
+    RNG use, unit mix-ups, wall-clock in the sim path) would bake
+    unreproducible numbers into history. Returns the fingerprint record
+    to embed, or ``None`` when the tree is dirty and ``allow_dirty`` is
+    false (the caller must refuse to write).
+    """
+    record = tree_fingerprint([REPO_ROOT / "src" / "repro"])
+    if not record["clean"] and not allow_dirty:
+        return None
+    return record
 
 
 @contextmanager
@@ -233,6 +250,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "BENCH_<n>.json at the repo root)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny-N sanity run; prints but does not write")
+    parser.add_argument("--allow-dirty-lint", action="store_true",
+                        dest="allow_dirty_lint",
+                        help="record the benchmark even if vablint reports "
+                             "findings on src/repro (discouraged)")
     args = parser.parse_args(argv)
     if args.trials < 1:
         parser.error("--trials must be >= 1")
@@ -242,6 +263,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--workers must be >= 1")
     if args.out is None:
         args.out = next_bench_path(REPO_ROOT)
+
+    lint_record = None
+    if not args.smoke:
+        lint_record = lint_gate(args.allow_dirty_lint)
+        if lint_record is None:
+            print(
+                "ERROR: refusing to record a benchmark from a dirty-lint "
+                "tree.\nRun `python tools/vablint.py src/repro` and fix the "
+                "findings (or pass --allow-dirty-lint to override).",
+                file=sys.stderr,
+            )
+            return 1
 
     if args.smoke:
         record = run_bench(trials_per_point=3, ranges_m=[50.0, 330.0],
@@ -255,6 +288,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                            workers=args.workers, seed=args.seed,
                            bench_name=args.out.stem)
 
+    if lint_record is not None:
+        record["lint"] = lint_record
     print(json.dumps(record, indent=2))
     if not args.smoke:
         args.out.write_text(json.dumps(record, indent=2) + "\n")

@@ -88,8 +88,83 @@ The E-series benchmarks emit the same artifacts per campaign when
 `VAB_OBS_DIR=<dir>` is set.
 """
 
+LINT_SECTION = """\
+## Linting (vablint)
+
+`repro.analysis` is a stdlib-`ast` linter for the invariants the
+reproduction's guarantees rest on — campaign determinism, unit
+discipline in the physics, a typed public API. Run it standalone or as
+a CLI subcommand (same exit codes: 0 clean, 1 findings, 2 unusable
+input such as a parse error, reported as pseudo-rule `VAB000`)::
+
+    python tools/vablint.py              # lints src/repro
+    python tools/vablint.py --json pkg/  # machine-readable report
+    python -m repro lint --catalogue     # rule catalogue
+
+### Rule catalogue
+
+| id | name | enforces |
+|----|------|----------|
+| `VAB001` | unseeded-rng | no unseeded `np.random.default_rng()` / legacy `np.random.*` global state in library code |
+| `VAB002` | rng-in-loop | no `Generator` construction inside loop bodies (per-trial hot paths) |
+| `VAB003` | unit-suffix-mismatch | no dB/linear, Hz/rad, m/km additive mixing; dB-valued expressions bind to `*_db` names |
+| `VAB004` | wall-clock-in-sim | no `time.time` / `datetime.now` outside `repro.obs` (telemetry is exempt) |
+| `VAB005` | api-hygiene | no mutable default arguments; public functions carry full type annotations |
+
+### The RNG-threading contract (what VAB001/VAB002 enforce)
+
+Every stochastic entry point takes an explicit `np.random.Generator`.
+Campaign code derives all of its generators up front from centralized
+seeds — `TrialCampaign.trial_seeds(point)` spawns one child seed per
+trial via `SeedSequence((seed, point))` — and threads them down, which
+is what makes the parallel runner bit-identical to the serial one.
+When an API allows `rng=None` for interactive convenience, the
+fallback is `repro.rng.fallback_rng()`: a process-global generator
+seeded from the documented `DEFAULT_FALLBACK_SEED`, so even "unseeded"
+use is reproducible run-to-run (reset it with `reseed_fallback`).
+
+### Suppressing a finding
+
+Suppression is per-line or per-file, always naming the rule::
+
+    x = np.random.default_rng()  # vablint: disable=VAB001
+    y = legacy()                 # vablint: disable=VAB001,VAB004
+    z = anything()               # vablint: disable=all
+
+    # vablint: disable-file=VAB003   (anywhere in the file)
+
+Comments inside string literals do not count (the scanner tokenizes).
+
+### Adding a rule
+
+Subclass `repro.analysis.Rule`, set `rule_id` / `name` / `summary`,
+implement `check(ctx: FileContext) -> Iterator[Finding]` (walk
+`ctx.tree`, resolve dotted callables with `ctx.resolve(node)`, emit via
+`ctx.finding(self, node, message)`), and decorate with `@register`.
+Suppression, reporting, exit codes, and the fingerprint pick the rule
+up automatically; add a bad/clean fixture pair under
+`tests/lint_fixtures/` to pin its behavior.
+
+### Provenance
+
+`tree_fingerprint(paths)` hashes the linted sources together with the
+rule ids and the clean/dirty verdict. Campaign manifests record it via
+`run_observed_campaign(..., lint_fingerprint=True)` (CLI:
+`python -m repro sweep --manifest run.json --lint-fingerprint`), and
+`tools/bench_perf.py` refuses to write a `BENCH_<n>.json` from a tree
+that does not lint clean (`--allow-dirty-lint` overrides).
+
+### Typed-API gate
+
+`repro` ships `py.typed`. The leaf packages `repro.obs`,
+`repro.geometry`, `repro.phy.bits`, and `repro.link.stats` are fully
+annotated and checked in CI with `mypy` under `disallow_untyped_defs`
+(config in `pyproject.toml`); the numeric core is checked leniently.
+"""
+
 PACKAGES = [
     "repro.core",
+    "repro.analysis",
     "repro.obs",
     "repro.geometry",
     "repro.acoustics",
@@ -119,6 +194,7 @@ def build() -> str:
         "Regenerate with `python tools/gen_api_docs.py`.",
         "",
         CAMPAIGNS_SECTION,
+        LINT_SECTION,
     ]
     for name in PACKAGES:
         module = importlib.import_module(name)

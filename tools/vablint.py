@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""vablint — determinism & physics-invariant linter for the VAB tree.
+
+Checks the project-specific invariants (``VAB001``..``VAB005``: RNG
+threading, unit-suffix discipline, wall-clock hygiene, typed public
+API) over any set of files or directories. See ``repro.analysis`` for
+the framework and ``--catalogue`` for the rules.
+
+Usage::
+
+    python tools/vablint.py src/repro            # lint the library
+    python tools/vablint.py --json src/repro     # CI / machine output
+    python tools/vablint.py --select VAB001 src  # one rule only
+    python tools/vablint.py --fingerprint src/repro
+
+Exit codes: 0 clean, 1 rule findings, 2 unusable input (bad arguments,
+missing paths, files that fail to parse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402
+    EXIT_ERROR,
+    lint_paths,
+    render_catalogue,
+    render_json,
+    render_text,
+    tree_fingerprint,
+)
+
+
+def _rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    """Parse a comma-separated rule-id list argument."""
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vablint", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--disable", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--catalogue", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--fingerprint", action="store_true",
+                        help="print the lint fingerprint JSON of the tree "
+                             "and exit (0 clean / 1 dirty)")
+    args = parser.parse_args(argv)
+
+    if args.catalogue:
+        print(render_catalogue())
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    try:
+        if args.fingerprint:
+            record = tree_fingerprint(paths)
+            print(json.dumps(record, indent=2))
+            return 0 if record["clean"] else 1
+        report = lint_paths(
+            paths, select=_rule_list(args.select), disable=_rule_list(args.disable)
+        )
+    except FileNotFoundError as exc:
+        print(f"vablint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except KeyError as exc:
+        print(f"vablint: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+
+    output = render_json(report) if args.as_json else render_text(report)
+    sys.stdout.write(output)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
