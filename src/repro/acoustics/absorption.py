@@ -20,9 +20,10 @@ import math
 from typing import Optional
 
 from repro.acoustics.constants import WaterProperties
+from repro.analysis.units.vocab import DB_PER_KM, HZ
 
 
-def absorption_thorp(frequency_hz: float) -> float:
+def absorption_thorp(frequency_hz: HZ) -> DB_PER_KM:
     """Thorp's absorption formula, dB/km.
 
     Valid for sea water, roughly 100 Hz – 1 MHz.
@@ -46,8 +47,8 @@ def absorption_thorp(frequency_hz: float) -> float:
 
 
 def absorption_francois_garrison(
-    frequency_hz: float, water: WaterProperties
-) -> float:
+    frequency_hz: HZ, water: WaterProperties
+) -> DB_PER_KM:
     """Francois–Garrison (1982) absorption, dB/km.
 
     Accounts for boric-acid relaxation, magnesium-sulphate relaxation, and
@@ -113,8 +114,8 @@ def absorption_francois_garrison(
 
 
 def absorption_db_per_km(
-    frequency_hz: float, water: Optional[WaterProperties] = None
-) -> float:
+    frequency_hz: HZ, water: Optional[WaterProperties] = None
+) -> DB_PER_KM:
     """Absorption for a site, choosing the best available model.
 
     With no ``water`` given, falls back to Thorp (sea water). With water

@@ -24,14 +24,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.units.vocab import DB, HZ, MPS
 
-def wenz_turbulence_psd_db(frequency_hz: float) -> float:
+
+def wenz_turbulence_psd_db(frequency_hz: HZ) -> DB:
     """Turbulence noise PSD, dB re 1 uPa^2/Hz."""
     f_khz = max(frequency_hz, 1e-3) / 1e3
     return 17.0 - 30.0 * math.log10(f_khz)
 
 
-def wenz_shipping_psd_db(frequency_hz: float, shipping: float) -> float:
+def wenz_shipping_psd_db(frequency_hz: HZ, shipping: float) -> DB:
     """Distant-shipping noise PSD, dB re 1 uPa^2/Hz.
 
     Args:
@@ -49,7 +51,7 @@ def wenz_shipping_psd_db(frequency_hz: float, shipping: float) -> float:
     )
 
 
-def wenz_wind_psd_db(frequency_hz: float, wind_speed_mps: float) -> float:
+def wenz_wind_psd_db(frequency_hz: HZ, wind_speed_mps: MPS) -> DB:
     """Wind/surface-agitation noise PSD, dB re 1 uPa^2/Hz.
 
     Args:
@@ -67,7 +69,7 @@ def wenz_wind_psd_db(frequency_hz: float, wind_speed_mps: float) -> float:
     )
 
 
-def wenz_thermal_psd_db(frequency_hz: float) -> float:
+def wenz_thermal_psd_db(frequency_hz: HZ) -> DB:
     """Thermal noise PSD, dB re 1 uPa^2/Hz."""
     f_khz = max(frequency_hz, 1e-3) / 1e3
     return -15.0 + 20.0 * math.log10(f_khz)
@@ -107,7 +109,7 @@ class NoiseConditions:
         return total_noise_psd_db_array(frequencies_hz, self)
 
 
-def total_noise_psd_db(frequency_hz: float, conditions: NoiseConditions) -> float:
+def total_noise_psd_db(frequency_hz: HZ, conditions: NoiseConditions) -> DB:
     """Sum the four Wenz components in linear power; return dB re 1 uPa^2/Hz."""
     components_db = (
         wenz_turbulence_psd_db(frequency_hz),
@@ -160,11 +162,11 @@ def total_noise_psd_db_array(
 
 
 def noise_level_db(
-    center_frequency_hz: float,
-    bandwidth_hz: float,
+    center_frequency_hz: HZ,
+    bandwidth_hz: HZ,
     conditions: NoiseConditions,
     points: int = 32,
-) -> float:
+) -> DB:
     """In-band ambient noise level, dB re 1 uPa.
 
     Integrates the total PSD across ``bandwidth_hz`` centred on

@@ -15,13 +15,14 @@ from typing import Optional
 
 from repro.acoustics.absorption import absorption_db_per_km
 from repro.acoustics.constants import REFERENCE_DISTANCE_M, WaterProperties
+from repro.analysis.units.vocab import DB, HZ, LINEAR, METERS
 
 SPHERICAL_EXPONENT = 20.0
 PRACTICAL_EXPONENT = 15.0
 CYLINDRICAL_EXPONENT = 10.0
 
 
-def spreading_loss_db(distance_m: float, exponent: float = PRACTICAL_EXPONENT) -> float:
+def spreading_loss_db(distance_m: METERS, exponent: float = PRACTICAL_EXPONENT) -> DB:
     """Geometric spreading loss at ``distance_m``, dB.
 
     Args:
@@ -40,11 +41,11 @@ def spreading_loss_db(distance_m: float, exponent: float = PRACTICAL_EXPONENT) -
 
 
 def transmission_loss_db(
-    distance_m: float,
-    frequency_hz: float,
+    distance_m: METERS,
+    frequency_hz: HZ,
     water: Optional[WaterProperties] = None,
     spreading_exponent: float = PRACTICAL_EXPONENT,
-) -> float:
+) -> DB:
     """One-way transmission loss: spreading plus absorption, dB.
 
     ``TL = k log10(d) + alpha(f) * d / 1000``
@@ -64,11 +65,11 @@ def transmission_loss_db(
 
 
 def amplitude_gain(
-    distance_m: float,
-    frequency_hz: float,
+    distance_m: METERS,
+    frequency_hz: HZ,
     water: Optional[WaterProperties] = None,
     spreading_exponent: float = PRACTICAL_EXPONENT,
-) -> float:
+) -> LINEAR:
     """Linear pressure-amplitude gain (<1) over a one-way path."""
     tl_db = transmission_loss_db(distance_m, frequency_hz, water, spreading_exponent)
     return 10.0 ** (-tl_db / 20.0)

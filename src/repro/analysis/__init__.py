@@ -5,8 +5,11 @@ the physics guarantees unit consistency (dB vs linear, Hz vs rad). Both
 rest on conventions — an explicit ``rng`` threaded everywhere, unit
 suffixes on names — that documentation alone cannot hold. This package
 machine-checks them with a stdlib-``ast`` lint framework plus five
-project-specific rules (``VAB001``..``VAB005``; see
-:mod:`repro.analysis.rules`).
+per-file rules (``VAB001``..``VAB005``; see
+:mod:`repro.analysis.rules`) and a flow-sensitive, interprocedural
+dimensional-analysis engine (``VAB006``..``VAB010``; see
+:mod:`repro.analysis.units`) that tracks units through assignments,
+arithmetic, and call boundaries.
 
 Run it via ``python tools/vablint.py src/repro``, the ``repro lint``
 CLI subcommand, or the API::

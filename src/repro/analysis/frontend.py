@@ -1,0 +1,161 @@
+"""Shared driver behind ``tools/vablint.py`` and ``repro lint``.
+
+Both CLIs parse the same flags; the actual flow — discover, lint,
+optionally run the units engine, optionally diff against a baseline,
+render — lives here once so the two entry points cannot drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.linter import (
+    DEFAULT_EXCLUDES,
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    LintReport,
+    lint_paths,
+)
+from repro.analysis.reporters import render_json, render_text
+
+
+def rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    """Parse a comma-separated rule-id CLI argument."""
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def add_lint_flags(parser: argparse.ArgumentParser) -> None:
+    """Install the shared lint flag set on an argparse parser.
+
+    Used by both ``tools/vablint.py`` and the ``repro lint`` subcommand
+    so the two CLIs accept identical options.
+    """
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--disable", default=None, metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--exclude", action="append", default=None,
+                        metavar="GLOB",
+                        help="glob pattern to skip during directory "
+                             "recursion (repeatable; added to the default "
+                             "tests/lint_fixtures/** exclude)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the per-file rules")
+    parser.add_argument("--units", action="store_true",
+                        help="run the interprocedural dimensional-analysis "
+                             "engine (rules VAB006..VAB010)")
+    parser.add_argument("--units-cache", default=".vablint_units_cache.json",
+                        metavar="PATH", dest="units_cache",
+                        help="cache file for incremental --units runs")
+    parser.add_argument("--no-units-cache", action="store_true",
+                        dest="no_units_cache",
+                        help="force a cold --units run (no cache read/write)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="differential mode: fail only on findings not "
+                             "in this baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        dest="update_baseline",
+                        help="rewrite --baseline from the current findings "
+                             "and exit 0")
+    parser.add_argument("--catalogue", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--fingerprint", action="store_true",
+                        help="print the lint fingerprint JSON of the tree "
+                             "and exit (0 clean / 1 dirty)")
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[List[str]] = None,
+    disable: Optional[List[str]] = None,
+    exclude: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    units: bool = False,
+    units_cache: Optional[str] = None,
+    baseline: Optional[str] = None,
+    update_baseline: bool = False,
+    as_json: bool = False,
+    out: Optional[TextIO] = None,
+) -> int:
+    """Run one lint invocation end to end; returns the process exit code.
+
+    Args:
+        paths: files/directories to lint.
+        select, disable: rule-id filters.
+        exclude: extra glob patterns *added to* the default excludes
+            (the lint-fixture tree is always skipped unless the file is
+            named explicitly).
+        jobs: worker processes for the per-file rules.
+        units: run the dimensional-analysis engine (VAB006..VAB010).
+        units_cache: cache file for incremental units runs (implies
+            nothing when ``units`` is off).
+        baseline: differential mode — only findings *not* covered by
+            this baseline file count against the exit code.
+        update_baseline: rewrite ``baseline`` from the current findings
+            and exit clean (requires ``baseline``).
+        as_json: JSON report instead of text.
+        out: stream to write the report to (default stdout).
+    """
+    stream = out if out is not None else sys.stdout
+    patterns = list(DEFAULT_EXCLUDES) + [p for p in (exclude or []) if p]
+    try:
+        report: LintReport = lint_paths(
+            paths,
+            select=select,
+            disable=disable,
+            exclude=patterns,
+            jobs=jobs,
+            units=units,
+            units_cache=units_cache if units else None,
+        )
+    except FileNotFoundError as exc:
+        print(f"vablint: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except KeyError as exc:
+        print(f"vablint: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if baseline is not None:
+        from repro.analysis.units.baseline import apply_baseline, write_baseline
+
+        if update_baseline:
+            entries = write_baseline(report.findings, Path(baseline))
+            print(
+                f"vablint: wrote baseline {baseline} "
+                f"({sum(entries.values())} finding(s), {len(entries)} key(s))",
+                file=sys.stderr,
+            )
+            return EXIT_CLEAN
+        if Path(baseline).is_file():
+            try:
+                grandfathered, resolved = apply_baseline(report, Path(baseline))
+            except ValueError as exc:
+                print(f"vablint: {exc}", file=sys.stderr)
+                return EXIT_ERROR
+            if grandfathered or resolved:
+                print(
+                    f"vablint: baseline absorbed {grandfathered} finding(s); "
+                    f"{resolved} allowance(s) resolved"
+                    + (" (run --update-baseline to shrink it)" if resolved else ""),
+                    file=sys.stderr,
+                )
+        else:
+            print(
+                f"vablint: baseline {baseline} not found; "
+                "treating every finding as new",
+                file=sys.stderr,
+            )
+    elif update_baseline:
+        print("vablint: --update-baseline requires --baseline PATH",
+              file=sys.stderr)
+        return EXIT_ERROR
+
+    stream.write(render_json(report) if as_json else render_text(report))
+    return report.exit_code

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from fnmatch import fnmatch
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.findings import PARSE_ERROR_RULE, Finding
 from repro.analysis.registry import FileContext, Rule, make_rules, rule_catalogue
@@ -33,6 +35,10 @@ EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
 EXIT_ERROR = 2
 """The CLI exit-code contract: clean / rule findings / unusable input."""
+
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("tests/lint_fixtures/**",)
+"""Glob patterns dropped from discovery unless the caller overrides
+``exclude``: the lint fixtures are *deliberately* dirty."""
 
 
 @dataclass
@@ -51,6 +57,9 @@ class LintReport:
     errors: List[Finding] = field(default_factory=list)
     files: int = 0
     rules: List[str] = field(default_factory=list)
+    units_stats: Optional[Dict[str, object]] = None
+    """Units-engine run stats (:meth:`UnitsReport.stats`) when the
+    dimensional analysis ran; None for suffix-only lint runs."""
 
     @property
     def clean(self) -> bool:
@@ -72,12 +81,38 @@ class LintReport:
         return dict(sorted(counts.items()))
 
 
-def discover_files(paths: Sequence[PathLike]) -> List[Path]:
+def _excluded(path: Path, patterns: Sequence[str]) -> bool:
+    """True when ``path`` matches any exclude glob.
+
+    Patterns are matched against the posix form of the path both as
+    given and anchored at any directory boundary, so
+    ``tests/lint_fixtures/**`` excludes the fixture tree whether the
+    lint was invoked from the repo root or with absolute paths.
+    """
+    posix = path.as_posix()
+    for pattern in patterns:
+        if fnmatch(posix, pattern) or fnmatch(posix, f"*/{pattern}"):
+            return True
+    return False
+
+
+def discover_files(
+    paths: Sequence[PathLike],
+    exclude: Optional[Sequence[str]] = None,
+) -> List[Path]:
     """Expand files/directories into a sorted list of ``.py`` files.
+
+    Args:
+        paths: files and/or directories (directories recurse).
+        exclude: glob patterns to drop (see :func:`_excluded`); defaults
+            to :data:`DEFAULT_EXCLUDES`. Pass ``[]`` to exclude nothing.
+            Explicitly named files are never excluded — only files found
+            by directory recursion.
 
     Raises:
         FileNotFoundError: when a named path does not exist.
     """
+    patterns = DEFAULT_EXCLUDES if exclude is None else tuple(exclude)
     files: List[Path] = []
     for raw in paths:
         path = Path(raw)
@@ -85,6 +120,7 @@ def discover_files(paths: Sequence[PathLike]) -> List[Path]:
             files.extend(
                 p for p in sorted(path.rglob("*.py"))
                 if not any(part.startswith(".") for part in p.parts)
+                and not _excluded(p, patterns)
             )
         elif path.is_file():
             files.append(path)
@@ -129,35 +165,111 @@ def lint_source(
     return sorted(findings)
 
 
+def _lint_one(
+    args: Tuple[str, Optional[List[str]], Optional[List[str]]],
+) -> Tuple[bool, List[Finding]]:
+    """Worker for the parallel front-end: lint one file.
+
+    Returns ``(read_ok, findings)``; module-level so it pickles into a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.
+    """
+    path_str, select, disable = args
+    file_path = Path(path_str)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return False, [Finding(
+            path=str(file_path), line=1, col=0,
+            rule_id=PARSE_ERROR_RULE, message=f"could not read file: {exc}",
+        )]
+    rules = make_rules(select=select, disable=disable)
+    return True, lint_source(source, file_path, rules=rules)
+
+
 def lint_paths(
     paths: Sequence[PathLike],
     select: Optional[List[str]] = None,
     disable: Optional[List[str]] = None,
+    exclude: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    units: bool = False,
+    units_cache: Optional[PathLike] = None,
 ) -> LintReport:
     """Lint every Python file under ``paths`` with the registered rules.
 
     Args:
         paths: files and/or directories (directories recurse).
-        select: run only these rule ids.
-        disable: drop these rule ids.
+        select: run only these rule ids (per-file rules only).
+        disable: drop these rule ids (applies to unit rules too).
+        exclude: glob patterns to skip during directory recursion;
+            defaults to :data:`DEFAULT_EXCLUDES`.
+        jobs: worker processes for the per-file rules; ``1`` keeps
+            everything in-process.
+        units: also run the interprocedural dimensional-analysis engine
+            (rules VAB006..VAB010, :mod:`repro.analysis.units`).
+        units_cache: optional cache file for incremental units runs.
 
     Returns:
         The aggregate :class:`LintReport`.
     """
-    active = make_rules(select=select, disable=disable)
+    # Unit rules (VAB006..VAB010) live outside the per-file registry, so
+    # select/disable lists are validated against the union and split.
+    from repro.analysis.units import UNIT_RULE_IDS
+
+    registry_ids = set(rule_catalogue())
+    unit_ids_all = set(UNIT_RULE_IDS)
+
+    def _split(ids: Optional[List[str]], label: str) -> Optional[List[str]]:
+        if ids is None:
+            return None
+        upper = [i.upper() for i in ids]
+        unknown = sorted(set(upper) - registry_ids - unit_ids_all)
+        if unknown:
+            raise KeyError(f"unknown rule id(s) in {label}: {', '.join(unknown)}")
+        return [i for i in upper if i in registry_ids]
+
+    reg_select = _split(select, "select")
+    reg_disable = _split(disable, "disable")
+    active = make_rules(select=reg_select, disable=reg_disable)
     report = LintReport(rules=[r.rule_id for r in active])
-    for file_path in discover_files(paths):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            report.errors.append(Finding(
-                path=str(file_path), line=1, col=0,
-                rule_id=PARSE_ERROR_RULE, message=f"could not read file: {exc}",
-            ))
-            continue
-        report.files += 1
-        for finding in lint_source(source, file_path, rules=active):
+    files = discover_files(paths, exclude=exclude)
+    work = [(f.as_posix(), reg_select, reg_disable) for f in files]
+    if jobs > 1 and len(work) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_lint_one, work, chunksize=8))
+    else:
+        results = [_lint_one(item) for item in work]
+    for read_ok, findings in results:
+        report.files += 1 if read_ok else 0
+        for finding in findings:
             (report.errors if finding.is_error else report.findings).append(finding)
+    if units:
+        # Imported lazily: the units engine is optional machinery and
+        # most lint_paths callers (fingerprints, the perf gate) never
+        # need it.
+        from repro.analysis.units import UNIT_RULE_IDS, analyze_units
+
+        dropped = {r.upper() for r in disable or []}
+        unit_ids = [r for r in UNIT_RULE_IDS if r not in dropped]
+        if select is not None:
+            wanted = {r.upper() for r in select}
+            unit_ids = [r for r in unit_ids if r in wanted]
+        units_report = analyze_units(
+            files, cache_path=Path(units_cache) if units_cache else None
+        )
+        report.rules.extend(unit_ids)
+        report.units_stats = units_report.stats()
+        keep = set(unit_ids)
+        report.findings.extend(
+            f for f in units_report.findings if f.rule_id in keep
+        )
+        report.errors.extend(units_report.errors)
+        # A syntax-broken file surfaces VAB000 from both passes; keep one.
+        unique = {
+            (f.path, f.line, f.col, f.rule_id, f.message): f
+            for f in report.errors
+        }
+        report.errors = list(unique.values())
     report.findings.sort()
     report.errors.sort()
     return report

@@ -29,6 +29,13 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
         )
         lines.append(f"{total} finding(s) in {report.files} files"
                      + (f" [{by_rule}]" if by_rule else ""))
+    if report.units_stats is not None:
+        stats = report.units_stats
+        lines.append(
+            f"units: engine {stats['engine_version']}, "
+            f"{stats['analyzed']} analyzed, {stats['reused']} cached, "
+            f"{stats['passes']} passes"
+        )
     if verbose:
         lines.append("")
         lines.append(render_catalogue())
@@ -37,23 +44,32 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
 
 def render_json(report: LintReport) -> str:
     """Machine-readable report (stable schema, sorted findings)."""
-    return json.dumps(
-        {
-            "files": report.files,
-            "rules": report.rules,
-            "clean": report.clean,
-            "findings": [f.to_dict() for f in report.findings],
-            "errors": [f.to_dict() for f in report.errors],
-            "counts": report.counts_by_rule(),
-        },
-        indent=2,
-        sort_keys=False,
-    ) + "\n"
+    payload = {
+        "files": report.files,
+        "rules": report.rules,
+        "clean": report.clean,
+        "findings": [f.to_dict() for f in report.findings],
+        "errors": [f.to_dict() for f in report.errors],
+        "counts": report.counts_by_rule(),
+    }
+    if report.units_stats is not None:
+        payload["units"] = report.units_stats
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
 
 
 def render_catalogue() -> str:
-    """The rule catalogue as ``VABxxx name — summary`` lines."""
+    """The rule catalogue as ``VABxxx name — summary`` lines.
+
+    Covers both the per-file registry (VAB001..VAB005) and the
+    dimensional-analysis engine's rules (VAB006..VAB010), which run only
+    under ``--units`` and therefore live outside the registry.
+    """
+    from repro.analysis.units import UNIT_RULES
+
     lines = []
     for rule_id, cls in rule_catalogue().items():
         lines.append(f"{rule_id} {cls.name} — {cls.summary}")
+    for rule_id in sorted(UNIT_RULES):
+        name, summary = UNIT_RULES[rule_id]
+        lines.append(f"{rule_id} {name} — {summary} (requires --units)")
     return "\n".join(lines)

@@ -5,6 +5,11 @@ A violation is silenced by a trailing (or same-line) comment::
     rng = np.random.default_rng()  # vablint: disable=VAB001
     t0 = time.time()               # vablint: disable=VAB004,VAB002
     anything_goes()                # vablint: disable=all
+    anything_goes()                # vablint: disable
+
+A bare ``disable`` (no ``=`` and no rule list) is shorthand for
+``disable=all`` — every rule is silenced on that line. The same
+shorthand works for ``disable-file``.
 
 The directive applies to findings *reported on that physical line* —
 for a multi-line statement, put it on the line the finding names. A
@@ -24,8 +29,8 @@ import re
 import tokenize
 from typing import Dict, FrozenSet, Set
 
-_LINE_RE = re.compile(r"#\s*vablint:\s*disable=([A-Za-z0-9_,\s]+)")
-_FILE_RE = re.compile(r"#\s*vablint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+_LINE_RE = re.compile(r"#\s*vablint:\s*disable(?!-)(?:=([A-Za-z0-9_,\s]+))?")
+_FILE_RE = re.compile(r"#\s*vablint:\s*disable-file(?:=([A-Za-z0-9_,\s]+))?")
 
 ALL = "all"
 """Sentinel rule name matching every rule id."""
@@ -88,8 +93,13 @@ class SuppressionIndex:
         return not self._by_line and not self._file_wide
 
 
-def _parse_rule_list(raw: str) -> Set[str]:
-    """Split a ``VAB001,VAB002`` / ``all`` directive payload."""
+def _parse_rule_list(raw: "str | None") -> Set[str]:
+    """Split a ``VAB001,VAB002`` / ``all`` directive payload.
+
+    A missing payload (bare ``disable``) suppresses everything.
+    """
+    if raw is None:
+        return {ALL}
     out: Set[str] = set()
     for part in raw.split(","):
         part = part.strip()

@@ -1,0 +1,103 @@
+"""Differential lint baselines: fail CI only on *new* findings.
+
+A baseline file records the multiset of findings a tree is allowed to
+carry (grandfathered debt). ``repro lint --baseline lint_baseline.json``
+then exits non-zero only when the current run produces a finding that
+is not covered by the baseline, so the gate can be enabled on day one
+while the repo burns the old findings down; ``--update-baseline``
+rewrites the file from the current findings (shrinking it as debt is
+paid off).
+
+Keys deliberately exclude line and column: moving a grandfathered
+violation around a file must not trip the gate, but adding a *second*
+instance of the same violation in the same file must — hence counts,
+not a set.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.linter import LintReport
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """Line-number-free identity of a finding (path, rule, message)."""
+    return f"{Path(finding.path).as_posix()}::{finding.rule_id}::{finding.message}"
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a key -> allowed-count counter.
+
+    Raises:
+        ValueError: on a malformed or wrong-version baseline.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if raw.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {raw.get('version')!r} in {path}"
+        )
+    entries = raw.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"malformed baseline entries in {path}")
+    return Counter({str(k): int(v) for k, v in entries.items()})
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> Dict[str, int]:
+    """Write the current findings as the new baseline; returns entries."""
+    counts = Counter(finding_key(f) for f in findings)
+    entries = {key: counts[key] for key in sorted(counts)}
+    Path(path).write_text(
+        json.dumps(
+            {"version": BASELINE_VERSION, "entries": entries},
+            indent=2, sort_keys=True,
+        ) + "\n",
+        encoding="utf-8",
+    )
+    return entries
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, resolved-count) against a baseline.
+
+    A finding is *new* when its key's occurrence count exceeds the
+    baseline's allowance; within one key, the later occurrences (by
+    line) are the ones reported. ``resolved`` counts baseline
+    allowances no current finding uses — debt that has been paid and
+    can be dropped with ``--update-baseline``.
+    """
+    seen: Counter = Counter()
+    new: List[Finding] = []
+    for finding in sorted(findings):
+        key = finding_key(finding)
+        seen[key] += 1
+        if seen[key] > baseline.get(key, 0):
+            new.append(finding)
+    resolved = sum(
+        max(allowed - seen.get(key, 0), 0) for key, allowed in baseline.items()
+    )
+    return new, resolved
+
+
+def apply_baseline(report: "LintReport", path: Path) -> Tuple[int, int]:
+    """Filter a lint report's findings down to the non-grandfathered ones.
+
+    Mutates ``report.findings`` in place. Returns
+    ``(grandfathered, resolved)``: how many findings the baseline
+    absorbed and how many baseline allowances went unused.
+    """
+    baseline = load_baseline(path)
+    new, resolved = diff_against_baseline(report.findings, baseline)
+    grandfathered = len(report.findings) - len(new)
+    report.findings[:] = new
+    return grandfathered, resolved

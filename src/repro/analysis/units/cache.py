@@ -1,0 +1,283 @@
+"""Incremental analysis cache and the ``analyze_units`` entry point.
+
+The engine's cost is parsing and re-walking ~100 ASTs; the units of a
+file only change when the file (or something it calls) changes. The
+cache keys every file on the sha256 of its bytes plus the engine
+version, and stores the file's findings, function summaries, and the
+set of project functions it references. A warm run then:
+
+1. hashes every file (cheap),
+2. marks changed files dirty,
+3. expands the dirty set with the **call-graph dependents** of every
+   dirty file (transitively, via the cached reference sets — a caller's
+   call-site checks depend on its callees' summaries),
+4. re-parses and re-analyzes only the dirty set, against the cached
+   summaries of everything else,
+5. reuses cached findings verbatim for untouched files.
+
+Findings are stored suppression-filtered, so cache hits and cold runs
+produce byte-identical reports — the determinism tests lock this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import PARSE_ERROR_RULE, Finding
+from repro.analysis.suppressions import SuppressionIndex
+from repro.analysis.units.engine import (
+    FunctionSummary,
+    run_fixed_point,
+    seed_summaries,
+)
+from repro.analysis.units.symbols import ModuleInfo, extract_module
+
+ENGINE_VERSION = "1.0.0"
+"""Bumping this invalidates every cache entry (new rules, new algebra)."""
+
+DEFAULT_CACHE_NAME = ".vablint_units_cache.json"
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Everything remembered about one analyzed file."""
+
+    sha: str
+    findings: List[Dict[str, object]] = field(default_factory=list)
+    summaries: List[Dict[str, object]] = field(default_factory=list)
+    refs: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sha": self.sha,
+            "findings": self.findings,
+            "summaries": self.summaries,
+            "refs": self.refs,
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict[str, object]) -> "CacheEntry":
+        return CacheEntry(
+            sha=str(raw["sha"]),
+            findings=list(raw.get("findings", [])),  # type: ignore[arg-type]
+            summaries=list(raw.get("summaries", [])),  # type: ignore[arg-type]
+            refs=list(raw.get("refs", [])),  # type: ignore[arg-type]
+        )
+
+
+class UnitsCache:
+    """On-disk store of per-file analysis results."""
+
+    def __init__(self, entries: Optional[Dict[str, CacheEntry]] = None) -> None:
+        self.entries: Dict[str, CacheEntry] = entries or {}
+
+    @classmethod
+    def load(cls, path: Optional[Path]) -> "UnitsCache":
+        """Read a cache file; any mismatch or damage yields an empty cache."""
+        if path is None or not Path(path).is_file():
+            return cls()
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls()
+        if raw.get("engine") != ENGINE_VERSION:
+            return cls()
+        entries = {
+            str(key): CacheEntry.from_dict(value)
+            for key, value in raw.get("files", {}).items()
+        }
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        """Persist the cache (deterministic JSON; sorted keys)."""
+        payload = {
+            "engine": ENGINE_VERSION,
+            "files": {
+                key: self.entries[key].to_dict() for key in sorted(self.entries)
+            },
+        }
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+@dataclass
+class UnitsReport:
+    """Output of one (possibly incremental) units-engine run.
+
+    Attributes:
+        findings: suppression-filtered VAB006..VAB010 findings, sorted.
+        errors: parse failures (VAB000).
+        files: number of files covered (analyzed + reused).
+        analyzed: files re-parsed and re-analyzed this run.
+        reused: files served entirely from the cache.
+        passes: fixed-point passes the engine ran.
+        engine_version: the engine/cache version string.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    errors: List[Finding] = field(default_factory=list)
+    files: int = 0
+    analyzed: List[str] = field(default_factory=list)
+    reused: List[str] = field(default_factory=list)
+    passes: int = 0
+    engine_version: str = ENGINE_VERSION
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe summary embedded in reports and manifests."""
+        return {
+            "engine_version": self.engine_version,
+            "files": self.files,
+            "analyzed": len(self.analyzed),
+            "reused": len(self.reused),
+            "passes": self.passes,
+        }
+
+
+def _filtered(findings: Sequence[Finding], source: str) -> List[Finding]:
+    index = SuppressionIndex.from_source(source)
+    return [f for f in findings if not index.is_suppressed(f.line, f.rule_id)]
+
+
+def _dependent_closure(
+    dirty: Set[str],
+    cache: UnitsCache,
+    qualname_owner: Dict[str, str],
+) -> Set[str]:
+    """Dirty files plus every cached file that (transitively) refers to
+    a function defined in a dirty file."""
+    ref_edges: Dict[str, Set[str]] = {}
+    for path, entry in cache.entries.items():
+        deps = {qualname_owner[q] for q in entry.refs if q in qualname_owner}
+        deps.discard(path)
+        ref_edges[path] = deps
+    closed = set(dirty)
+    changed = True
+    while changed:
+        changed = False
+        for path, deps in ref_edges.items():
+            if path not in closed and deps & closed:
+                closed.add(path)
+                changed = True
+    return closed
+
+
+def analyze_units(
+    files: Sequence[Path],
+    cache_path: Optional[Path] = None,
+) -> UnitsReport:
+    """Run the dimensional-analysis engine over ``files``.
+
+    With ``cache_path`` the run is incremental: unchanged files (whose
+    call-graph dependencies are also unchanged) are served from the
+    cache without re-parsing, and the cache is rewritten afterwards.
+    Without it, every file is analyzed cold.
+    """
+    report = UnitsReport()
+    sources: Dict[str, str] = {}
+    shas: Dict[str, str] = {}
+    ordered: List[str] = []
+    for file_path in files:
+        key = Path(file_path).as_posix()
+        try:
+            data = Path(file_path).read_bytes()
+        except OSError as exc:
+            report.errors.append(Finding(
+                path=key, line=1, col=0, rule_id=PARSE_ERROR_RULE,
+                message=f"could not read file: {exc}",
+            ))
+            continue
+        ordered.append(key)
+        shas[key] = _sha256(data)
+        sources[key] = data.decode("utf-8", errors="replace")
+
+    cache = UnitsCache.load(cache_path)
+    cache.entries = {k: v for k, v in cache.entries.items() if k in shas}
+
+    qualname_owner: Dict[str, str] = {}
+    for path, entry in cache.entries.items():
+        for raw in entry.summaries:
+            qualname_owner[str(raw["qualname"])] = path
+
+    dirty = {
+        key for key in ordered
+        if key not in cache.entries or cache.entries[key].sha != shas[key]
+    }
+    dirty = _dependent_closure(dirty, cache, qualname_owner) & set(ordered)
+
+    infos: List[ModuleInfo] = []
+    for key in sorted(dirty):
+        try:
+            infos.append(extract_module(Path(key), sources[key]))
+        except SyntaxError as exc:
+            report.errors.append(Finding(
+                path=key, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not parse file: {exc.msg}",
+            ))
+            dirty.discard(key)
+            cache.entries.pop(key, None)
+
+    summaries: Dict[str, FunctionSummary] = {}
+    for path, entry in cache.entries.items():
+        if path in dirty:
+            continue
+        for raw in entry.summaries:
+            summary = FunctionSummary.from_dict(raw)
+            summaries[summary.qualname] = summary
+    summaries.update(seed_summaries(infos))
+
+    analyses, summaries, passes = run_fixed_point(infos, summaries)
+    report.passes = passes
+
+    summary_by_path: Dict[str, List[FunctionSummary]] = {}
+    for summary in summaries.values():
+        summary_by_path.setdefault(summary.path, []).append(summary)
+
+    for key in ordered:
+        if key in dirty:
+            analysis = analyses.get(key)
+            fresh = _filtered(analysis.findings if analysis else [], sources[key])
+            report.findings.extend(fresh)
+            report.analyzed.append(key)
+            cache.entries[key] = CacheEntry(
+                sha=shas[key],
+                findings=[f.to_dict() for f in fresh],
+                summaries=[
+                    s.to_dict() for s in sorted(
+                        summary_by_path.get(key, []), key=lambda s: s.qualname
+                    )
+                ],
+                refs=sorted(analysis.refs) if analysis else [],
+            )
+        elif key in cache.entries:
+            entry = cache.entries[key]
+            report.findings.extend(
+                Finding(
+                    path=str(raw["path"]), line=int(raw["line"]),  # type: ignore[arg-type]
+                    col=int(raw["col"]), rule_id=str(raw["rule"]),  # type: ignore[arg-type]
+                    message=str(raw["message"]),
+                )
+                for raw in entry.findings
+            )
+            report.reused.append(key)
+
+    report.files = len(report.analyzed) + len(report.reused)
+    report.findings.sort()
+    report.errors.sort()
+    if cache_path is not None:
+        cache.save(Path(cache_path))
+    return report

@@ -1,0 +1,185 @@
+"""Curated unit signatures for the physics API and common stdlib calls.
+
+Annotations and name suffixes cover most of the tree, but the
+load-bearing physics entry points deserve ground truth that does not
+depend on either convention surviving a refactor: this database pins
+the units the *papers* define — Thorp/Francois–Garrison absorption is
+dB **per kilometre**, spreading and transmission loss are dB, BVD
+impedances are ohms, trigonometry consumes radians.
+
+Lookup order in the engine is annotation > sigdb > suffix, so an
+explicit annotation always wins; the database is the safety net for
+unannotated call sites and for external functions (``math.radians``)
+the engine cannot read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.units.vocab import (
+    DB_PER_KM_UNIT,
+    DB_UNIT,
+    DEG_UNIT,
+    HZ_UNIT,
+    KM_UNIT,
+    LINEAR_UNIT,
+    MPS_UNIT,
+    M_UNIT,
+    OHM_UNIT,
+    RAD_UNIT,
+    SCALAR_UNIT,
+    S_UNIT,
+)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Unit contract of one callable.
+
+    Attributes:
+        params: parameter name -> canonical unit token. Positional
+            binding happens in the engine against the callee's ordered
+            parameter list (or :attr:`param_order` for externals).
+        returns: unit token of the return value (None when unknown or
+            not unit-bearing).
+        param_order: positional order of the unit-bearing parameters
+            for callables whose definitions the engine cannot parse
+            (stdlib / numpy).
+    """
+
+    params: Dict[str, str] = field(default_factory=dict)
+    returns: Optional[str] = None
+    param_order: Tuple[str, ...] = ()
+
+
+def _sig(returns: Optional[str] = None, order: Tuple[str, ...] = (), **params: str) -> Signature:
+    return Signature(params=dict(params), returns=returns, param_order=order)
+
+
+SIGNATURES: Dict[str, Signature] = {
+    # -- acoustics: absorption returns dB/km by model definition --------------
+    "repro.acoustics.absorption.absorption_thorp": _sig(
+        DB_PER_KM_UNIT, frequency_hz=HZ_UNIT),
+    "repro.acoustics.absorption.absorption_francois_garrison": _sig(
+        DB_PER_KM_UNIT, frequency_hz=HZ_UNIT),
+    "repro.acoustics.absorption.absorption_db_per_km": _sig(
+        DB_PER_KM_UNIT, frequency_hz=HZ_UNIT),
+    # -- acoustics: spreading / transmission loss are dB ----------------------
+    "repro.acoustics.spreading.spreading_loss_db": _sig(
+        DB_UNIT, distance_m=M_UNIT),
+    "repro.acoustics.spreading.transmission_loss_db": _sig(
+        DB_UNIT, distance_m=M_UNIT, frequency_hz=HZ_UNIT),
+    "repro.acoustics.spreading.amplitude_gain": _sig(
+        LINEAR_UNIT, distance_m=M_UNIT, frequency_hz=HZ_UNIT),
+    # -- acoustics: Wenz noise model ------------------------------------------
+    "repro.acoustics.noise.wenz_turbulence_psd_db": _sig(DB_UNIT, frequency_hz=HZ_UNIT),
+    "repro.acoustics.noise.wenz_shipping_psd_db": _sig(DB_UNIT, frequency_hz=HZ_UNIT),
+    "repro.acoustics.noise.wenz_wind_psd_db": _sig(
+        DB_UNIT, frequency_hz=HZ_UNIT, wind_speed_mps=MPS_UNIT),
+    "repro.acoustics.noise.wenz_thermal_psd_db": _sig(DB_UNIT, frequency_hz=HZ_UNIT),
+    "repro.acoustics.noise.total_noise_psd_db": _sig(DB_UNIT, frequency_hz=HZ_UNIT),
+    "repro.acoustics.noise.noise_level_db": _sig(
+        DB_UNIT, center_frequency_hz=HZ_UNIT, bandwidth_hz=HZ_UNIT),
+    "repro.acoustics.doppler.doppler_shift_hz": _sig(HZ_UNIT),
+    # -- PHY: BER curves consume post-processing SNR in dB --------------------
+    "repro.phy.ber.ber_ook_coherent": _sig(SCALAR_UNIT, snr_db=DB_UNIT),
+    "repro.phy.ber.ber_ook_noncoherent": _sig(SCALAR_UNIT, snr_db=DB_UNIT),
+    "repro.phy.ber.required_snr_db": _sig(DB_UNIT),
+    # -- Van Atta gains -------------------------------------------------------
+    "repro.vanatta.retrodirective.monostatic_gain": _sig(
+        LINEAR_UNIT, frequency_hz=HZ_UNIT, theta_deg=DEG_UNIT, sound_speed=MPS_UNIT),
+    "repro.vanatta.retrodirective.monostatic_gain_db": _sig(
+        DB_UNIT, frequency_hz=HZ_UNIT, theta_deg=DEG_UNIT, sound_speed=MPS_UNIT),
+    "repro.vanatta.retrodirective.monostatic_pattern_db": _sig(
+        DB_UNIT, frequency_hz=HZ_UNIT, sound_speed=MPS_UNIT),
+    "repro.vanatta.scaling.peak_gain_db": _sig(DB_UNIT),
+    "repro.vanatta.scaling.gain_improvement_db": _sig(DB_UNIT),
+    "repro.vanatta.scaling.aperture_m": _sig(M_UNIT, spacing_m=M_UNIT),
+    "repro.vanatta.scaling.recommended_spacing": _sig(
+        M_UNIT, frequency_hz=HZ_UNIT, sound_speed=MPS_UNIT),
+    "repro.vanatta.polarity.coherence_loss_db": _sig(DB_UNIT),
+    # -- piezo: BVD impedances are ohms ---------------------------------------
+    "repro.piezo.bvd.BVDModel.impedance": _sig(OHM_UNIT, frequency_hz=HZ_UNIT),
+    "repro.piezo.bvd.BVDModel.motional_impedance": _sig(OHM_UNIT, frequency_hz=HZ_UNIT),
+    "repro.piezo.bvd.BVDModel.conjugate_match": _sig(OHM_UNIT, frequency_hz=HZ_UNIT),
+    "repro.piezo.bvd.BVDModel.radiation_resistance": _sig(OHM_UNIT),
+    "repro.piezo.bvd.BVDModel.bandwidth_hz": _sig(HZ_UNIT),
+    # -- link budget ----------------------------------------------------------
+    "repro.sim.linkbudget.LinkBudget.one_way_loss_db": _sig(DB_UNIT, range_m=M_UNIT),
+    "repro.sim.linkbudget.LinkBudget.incident_level_db": _sig(DB_UNIT, range_m=M_UNIT),
+    "repro.sim.linkbudget.LinkBudget.reflection_gain_db": _sig(DB_UNIT),
+    "repro.sim.linkbudget.LinkBudget.received_data_level_db": _sig(
+        DB_UNIT, range_m=M_UNIT),
+    "repro.sim.linkbudget.LinkBudget.ambient_noise_db": _sig(DB_UNIT),
+    "repro.sim.linkbudget.LinkBudget.noise_level_in_band_db": _sig(DB_UNIT),
+    "repro.sim.linkbudget.LinkBudget.processing_gain_db": _sig(DB_UNIT),
+    "repro.sim.linkbudget.LinkBudget.snr_db": _sig(DB_UNIT, range_m=M_UNIT),
+    "repro.sim.linkbudget.LinkBudget.margin_db": _sig(DB_UNIT, range_m=M_UNIT),
+    "repro.sim.linkbudget.LinkBudget.max_range_m": _sig(M_UNIT, lo=M_UNIT, hi=M_UNIT),
+    # -- stdlib / numpy angle plumbing ----------------------------------------
+    "math.radians": _sig(RAD_UNIT, order=("x",), x=DEG_UNIT),
+    "math.degrees": _sig(DEG_UNIT, order=("x",), x=RAD_UNIT),
+    "numpy.radians": _sig(RAD_UNIT, order=("x",), x=DEG_UNIT),
+    "numpy.degrees": _sig(DEG_UNIT, order=("x",), x=RAD_UNIT),
+    "numpy.deg2rad": _sig(RAD_UNIT, order=("x",), x=DEG_UNIT),
+    "numpy.rad2deg": _sig(DEG_UNIT, order=("x",), x=RAD_UNIT),
+}
+
+TRIG_CALLS = frozenset({
+    "math.sin", "math.cos", "math.tan",
+    "numpy.sin", "numpy.cos", "numpy.tan",
+    "cmath.sin", "cmath.cos", "cmath.tan",
+})
+"""Functions whose argument is an angle in radians (VAB008 anchors)."""
+
+FILTER_TIME_CALLS: Dict[str, str] = {
+    "scipy.signal.butter": "Wn",
+    "scipy.signal.cheby1": "Wn",
+    "scipy.signal.firwin": "cutoff",
+}
+"""Filter-design calls whose critical-frequency argument is in Hz when a
+sampling rate is supplied — passing rad/s there is the VAB008 twin of
+the trig case."""
+
+PASSTHROUGH_CALLS = frozenset({
+    "max", "min", "abs", "float", "round", "sum",
+    "numpy.abs", "numpy.maximum", "numpy.minimum", "numpy.clip",
+    "numpy.asarray", "numpy.array", "numpy.mean", "numpy.median",
+    "numpy.max", "numpy.min", "numpy.sum",
+})
+"""Calls that return (an aggregate of) their first argument's unit."""
+
+LOG10_CALLS = frozenset({"math.log10", "numpy.log10"})
+
+PI_NAMES = frozenset({"math.pi", "numpy.pi", "math.tau", "numpy.tau"})
+
+
+def lookup(qualname: Optional[str]) -> Optional[Signature]:
+    """Signature for a fully qualified callable name, if curated."""
+    if qualname is None:
+        return None
+    return SIGNATURES.get(qualname)
+
+
+_METHOD_INDEX: Dict[str, Tuple[str, ...]] = {}
+
+
+def method_signature(attr_name: str) -> Optional[Signature]:
+    """Signature for a bare method name, when unique in the database.
+
+    ``budget.snr_db(...)`` cannot be resolved statically without type
+    inference; a curated method name that appears exactly once in the
+    database is safe to match on the attribute alone.
+    """
+    if not _METHOD_INDEX:
+        for qualname in SIGNATURES:
+            parts = qualname.split(".")
+            if len(parts) >= 2 and parts[-2][:1].isupper():
+                tail = parts[-1]
+                _METHOD_INDEX[tail] = _METHOD_INDEX.get(tail, ()) + (qualname,)
+    matches = _METHOD_INDEX.get(attr_name, ())
+    if len(matches) == 1:
+        return SIGNATURES[matches[0]]
+    return None

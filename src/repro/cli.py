@@ -106,9 +106,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     import json as json_module
     from pathlib import Path
 
-    from repro.analysis import (
-        lint_paths, render_catalogue, render_json, render_text, tree_fingerprint,
-    )
+    from repro.analysis import render_catalogue, tree_fingerprint
+    from repro.analysis.frontend import rule_list, run_lint
 
     if args.catalogue:
         print(render_catalogue())
@@ -118,9 +117,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         record = tree_fingerprint(paths)
         print(json_module.dumps(record, indent=2))
         return 0 if record["clean"] else 1
-    report = lint_paths(paths)
-    print(render_json(report) if args.as_json else render_text(report), end="")
-    return report.exit_code
+    return run_lint(
+        paths,
+        select=rule_list(args.select),
+        disable=rule_list(args.disable),
+        exclude=args.exclude,
+        jobs=args.jobs,
+        units=args.units,
+        units_cache=None if args.no_units_cache else args.units_cache,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+        as_json=args.as_json,
+    )
 
 
 def cmd_pattern(args: argparse.Namespace) -> int:
@@ -253,13 +261,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("paths", nargs="*", default=None,
                         help="files/directories (default: the repro package)")
-    p_lint.add_argument("--json", action="store_true", dest="as_json",
-                        help="machine-readable JSON report")
-    p_lint.add_argument("--catalogue", action="store_true",
-                        help="print the rule catalogue and exit")
-    p_lint.add_argument("--fingerprint", action="store_true",
-                        help="print the tree's lint fingerprint "
-                             "(recordable in campaign manifests)")
+    from repro.analysis.frontend import add_lint_flags
+    add_lint_flags(p_lint)
     p_lint.set_defaults(func=cmd_lint)
 
     p_pattern = sub.add_parser("pattern", help="retrodirectivity pattern")

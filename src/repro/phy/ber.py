@@ -17,6 +17,8 @@ from typing import Sequence
 import numpy as np
 from scipy import special
 
+from repro.analysis.units.vocab import DB
+
 
 def q_function(x: float) -> float:
     """Gaussian tail probability Q(x)."""
@@ -30,7 +32,7 @@ def q_inverse(p: float) -> float:
     return math.sqrt(2.0) * float(special.erfcinv(2.0 * p))
 
 
-def ber_ook_coherent(snr_db: float) -> float:
+def ber_ook_coherent(snr_db: DB) -> float:
     """Coherent OOK bit error rate at an average-power SNR.
 
     With levels {0, A}, average power A^2/2 and complex noise power N, the
@@ -41,7 +43,7 @@ def ber_ook_coherent(snr_db: float) -> float:
     return q_function(math.sqrt(snr))
 
 
-def ber_ook_noncoherent(snr_db: float) -> float:
+def ber_ook_noncoherent(snr_db: DB) -> float:
     """Non-coherent (envelope) OOK approximation ``0.5 exp(-SNR/2)``.
 
     The classic high-SNR approximation with the optimal threshold; about
@@ -51,7 +53,7 @@ def ber_ook_noncoherent(snr_db: float) -> float:
     return 0.5 * math.exp(-snr / 2.0)
 
 
-def required_snr_db(target_ber: float, coherent: bool = True) -> float:
+def required_snr_db(target_ber: float, coherent: bool = True) -> DB:
     """SNR needed to hit a target BER (inverts the closed forms)."""
     if not 0.0 < target_ber < 0.5:
         raise ValueError("target BER must be in (0, 0.5)")

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.units.vocab import HZ, OHM
+
 
 @dataclass(frozen=True)
 class BVDModel:
@@ -54,7 +56,7 @@ class BVDModel:
 
     @staticmethod
     def from_resonance(
-        resonance_hz: float,
+        resonance_hz: HZ,
         q_factor: float = 7.0,
         c0_farad: float = 10e-9,
         capacitance_ratio: float = 12.0,
@@ -88,7 +90,7 @@ class BVDModel:
         )
 
     @staticmethod
-    def vab_element(resonance_hz: float = 18_500.0) -> "BVDModel":
+    def vab_element(resonance_hz: HZ = 18_500.0) -> "BVDModel":
         """The default element used throughout the reproduction.
 
         An 18.5 kHz potted cylinder with water-loaded Q ~ 7, matching the
@@ -100,12 +102,12 @@ class BVDModel:
     # -- derived quantities ---------------------------------------------------
 
     @property
-    def series_resonance_hz(self) -> float:
+    def series_resonance_hz(self) -> HZ:
         """Series (motional) resonance ``f_s``."""
         return 1.0 / (2.0 * math.pi * math.sqrt(self.lm_henry * self.cm_farad))
 
     @property
-    def parallel_resonance_hz(self) -> float:
+    def parallel_resonance_hz(self) -> HZ:
         """Parallel (anti-) resonance ``f_p > f_s``."""
         c_eff = self.cm_farad * self.c0_farad / (self.cm_farad + self.c0_farad)
         return 1.0 / (2.0 * math.pi * math.sqrt(self.lm_henry * c_eff))
@@ -123,13 +125,13 @@ class BVDModel:
         fp = self.parallel_resonance_hz
         return math.sqrt(1.0 - (fs / fp) ** 2)
 
-    def bandwidth_hz(self) -> float:
+    def bandwidth_hz(self) -> HZ:
         """-3 dB bandwidth of the motional branch, ``f_s / Q``."""
         return self.series_resonance_hz / self.q_factor
 
     # -- impedance -----------------------------------------------------------
 
-    def motional_impedance(self, frequency_hz: float) -> complex:
+    def motional_impedance(self, frequency_hz: HZ) -> complex:
         """Impedance of the series Rm–Lm–Cm branch."""
         if frequency_hz <= 0:
             raise ValueError("frequency must be positive")
@@ -138,22 +140,22 @@ class BVDModel:
             self.rm_ohm, w * self.lm_henry - 1.0 / (w * self.cm_farad)
         )
 
-    def impedance(self, frequency_hz: float) -> complex:
+    def impedance(self, frequency_hz: HZ) -> complex:
         """Terminal impedance: motional branch in parallel with ``C0``."""
         zm = self.motional_impedance(frequency_hz)
         w = 2.0 * math.pi * frequency_hz
         zc0 = 1.0 / complex(0.0, w * self.c0_farad)
         return zm * zc0 / (zm + zc0)
 
-    def admittance(self, frequency_hz: float) -> complex:
+    def admittance(self, frequency_hz: HZ) -> complex:
         """Terminal admittance."""
         return 1.0 / self.impedance(frequency_hz)
 
-    def radiation_resistance(self) -> float:
+    def radiation_resistance(self) -> OHM:
         """The radiating part of ``Rm``, ohms."""
         return self.rm_ohm * self.radiation_fraction
 
-    def conjugate_match(self, frequency_hz: float) -> complex:
+    def conjugate_match(self, frequency_hz: HZ) -> complex:
         """The load that absorbs maximum power at ``frequency_hz``."""
         return self.impedance(frequency_hz).conjugate()
 

@@ -29,6 +29,7 @@ from typing import Optional
 
 from repro.acoustics.noise import noise_level_db
 from repro.acoustics.spreading import transmission_loss_db
+from repro.analysis.units.vocab import DB, METERS
 from repro.phy.ber import ber_ook_coherent, ber_ook_noncoherent, required_snr_db
 from repro.sim.scenario import Scenario
 from repro.vanatta.array import VanAttaArray
@@ -100,7 +101,7 @@ class LinkBudget:
 
     # -- budget terms --------------------------------------------------------------
 
-    def one_way_loss_db(self, range_m: float) -> float:
+    def one_way_loss_db(self, range_m: METERS) -> DB:
         """One-way transmission loss at a range, dB."""
         return transmission_loss_db(
             range_m,
@@ -109,11 +110,11 @@ class LinkBudget:
             self.scenario.spreading_exponent,
         )
 
-    def incident_level_db(self, range_m: float) -> float:
+    def incident_level_db(self, range_m: METERS) -> DB:
         """Carrier level arriving at the node, dB re 1 uPa."""
         return self.scenario.source_level_db - self.one_way_loss_db(range_m)
 
-    def reflection_gain_db(self) -> float:
+    def reflection_gain_db(self) -> DB:
         """Node's conversion from incident carrier to data sideband, dB.
 
         ``20 log10(G_array * depth / 2) - L_node``.
@@ -124,7 +125,7 @@ class LinkBudget:
             - self.node_loss_db
         )
 
-    def received_data_level_db(self, range_m: float) -> float:
+    def received_data_level_db(self, range_m: METERS) -> DB:
         """Data-sideband level back at the hydrophone, dB re 1 uPa."""
         return (
             self.scenario.source_level_db
@@ -132,7 +133,7 @@ class LinkBudget:
             + self.reflection_gain_db()
         )
 
-    def ambient_noise_db(self) -> float:
+    def ambient_noise_db(self) -> DB:
         """Ambient noise in the chip-rate bandwidth, dB re 1 uPa."""
         return noise_level_db(
             self.scenario.carrier_hz, self.scenario.chip_rate, self.scenario.noise
@@ -144,7 +145,7 @@ class LinkBudget:
             return None
         return self.scenario.source_level_db - self.si_suppression_db
 
-    def noise_level_in_band_db(self) -> float:
+    def noise_level_in_band_db(self) -> DB:
         """Effective in-band noise: ambient plus residual SI (linear sum)."""
         ambient_db = self.ambient_noise_db()
         si_db = self.residual_si_db()
@@ -153,11 +154,11 @@ class LinkBudget:
         linear = 10.0 ** (ambient_db / 10.0) + 10.0 ** (si_db / 10.0)
         return 10.0 * math.log10(linear)
 
-    def processing_gain_db(self) -> float:
+    def processing_gain_db(self) -> DB:
         """Coherent accumulation across the chips of one bit."""
         return 10.0 * math.log10(self.chips_per_bit)
 
-    def snr_db(self, range_m: Optional[float] = None) -> float:
+    def snr_db(self, range_m: Optional[float] = None) -> DB:
         """Post-processing SNR at a range (scenario range if omitted)."""
         d = self.scenario.range_m if range_m is None else range_m
         return (
@@ -202,7 +203,7 @@ class LinkBudget:
                 b = mid
         return 0.5 * (a + b)
 
-    def margin_db(self, range_m: float, target_ber: float = 1e-3) -> float:
+    def margin_db(self, range_m: METERS, target_ber: float = 1e-3) -> DB:
         """SNR margin above the target-BER requirement at a range."""
         return self.snr_db(range_m) - required_snr_db(target_ber, self.coherent)
 

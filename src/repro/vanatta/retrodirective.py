@@ -24,10 +24,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.units.vocab import DB, DEG, HZ, MPS
 from repro.vanatta.array import VanAttaArray
 
 
-def _wavenumber(frequency_hz: float, sound_speed: float) -> float:
+def _wavenumber(frequency_hz: HZ, sound_speed: MPS) -> float:
     if frequency_hz <= 0 or sound_speed <= 0:
         raise ValueError("frequency and sound speed must be positive")
     return 2.0 * math.pi * frequency_hz / sound_speed
@@ -35,10 +36,10 @@ def _wavenumber(frequency_hz: float, sound_speed: float) -> float:
 
 def response(
     array: VanAttaArray,
-    frequency_hz: float,
-    theta_in_deg: float,
-    theta_out_deg: float,
-    sound_speed: float = 1500.0,
+    frequency_hz: HZ,
+    theta_in_deg: DEG,
+    theta_out_deg: DEG,
+    sound_speed: MPS = 1500.0,
 ) -> complex:
     """Bistatic complex response (normalised to one ideal element).
 
@@ -74,9 +75,9 @@ def response(
 
 def monostatic_gain(
     array: VanAttaArray,
-    frequency_hz: float,
-    theta_deg: float,
-    sound_speed: float = 1500.0,
+    frequency_hz: HZ,
+    theta_deg: DEG,
+    sound_speed: MPS = 1500.0,
 ) -> complex:
     """Response back toward the source (the backscatter direction)."""
     return response(array, frequency_hz, theta_deg, theta_deg, sound_speed)
@@ -84,10 +85,10 @@ def monostatic_gain(
 
 def monostatic_gain_db(
     array: VanAttaArray,
-    frequency_hz: float,
-    theta_deg: float,
-    sound_speed: float = 1500.0,
-) -> float:
+    frequency_hz: HZ,
+    theta_deg: DEG,
+    sound_speed: MPS = 1500.0,
+) -> DB:
     """Monostatic field gain in dB re one ideal element."""
     mag = abs(monostatic_gain(array, frequency_hz, theta_deg, sound_speed))
     return 20.0 * math.log10(max(mag, 1e-15))
@@ -95,10 +96,10 @@ def monostatic_gain_db(
 
 def pattern(
     array: VanAttaArray,
-    frequency_hz: float,
-    theta_in_deg: float,
+    frequency_hz: HZ,
+    theta_in_deg: DEG,
     thetas_out_deg: Sequence[float],
-    sound_speed: float = 1500.0,
+    sound_speed: MPS = 1500.0,
 ) -> np.ndarray:
     """Bistatic pattern: complex response at each observation angle."""
     return np.array(
@@ -111,9 +112,9 @@ def pattern(
 
 def monostatic_pattern_db(
     array: VanAttaArray,
-    frequency_hz: float,
+    frequency_hz: HZ,
     thetas_deg: Sequence[float],
-    sound_speed: float = 1500.0,
+    sound_speed: MPS = 1500.0,
 ) -> np.ndarray:
     """Monostatic gain (dB) across incidence angles — the E1 curve."""
     return np.array(

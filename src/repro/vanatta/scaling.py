@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import math
 
+from repro.analysis.units.vocab import DB, HZ, METERS, MPS
 
-def peak_gain_db(num_elements: int) -> float:
+
+def peak_gain_db(num_elements: int) -> DB:
     """Monostatic field gain of an ideal N-element Van Atta, dB.
 
     Relative to a single ideal element; field scales with N.
@@ -27,7 +29,7 @@ def peak_gain_db(num_elements: int) -> float:
     return 20.0 * math.log10(num_elements)
 
 
-def aperture_m(num_elements: int, spacing_m: float) -> float:
+def aperture_m(num_elements: int, spacing_m: METERS) -> METERS:
     """End-to-end aperture of a uniform array, metres."""
     if num_elements < 1:
         raise ValueError("need at least one element")
@@ -36,14 +38,14 @@ def aperture_m(num_elements: int, spacing_m: float) -> float:
     return (num_elements - 1) * spacing_m
 
 
-def recommended_spacing(frequency_hz: float, sound_speed: float = 1500.0) -> float:
+def recommended_spacing(frequency_hz: HZ, sound_speed: MPS = 1500.0) -> METERS:
     """Half-wavelength pitch, metres."""
     if frequency_hz <= 0:
         raise ValueError("frequency must be positive")
     return sound_speed / frequency_hz / 2.0
 
 
-def grating_lobe_free(spacing_m: float, frequency_hz: float, sound_speed: float = 1500.0) -> bool:
+def grating_lobe_free(spacing_m: METERS, frequency_hz: HZ, sound_speed: MPS = 1500.0) -> bool:
     """True when no grating lobe exists for any scan angle (d < lambda/2... lambda).
 
     For a retrodirective reflector illuminated from up to +-90 degrees the
@@ -54,6 +56,6 @@ def grating_lobe_free(spacing_m: float, frequency_hz: float, sound_speed: float 
     return spacing_m < lam
 
 
-def gain_improvement_db(n_from: int, n_to: int) -> float:
+def gain_improvement_db(n_from: int, n_to: int) -> DB:
     """Gain delta when growing an array from ``n_from`` to ``n_to`` elements."""
     return peak_gain_db(n_to) - peak_gain_db(n_from)

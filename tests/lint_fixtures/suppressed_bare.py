@@ -1,0 +1,8 @@
+"""Bare ``# vablint: disable`` (no rule list) silences every rule."""
+
+import time
+
+
+def stamp() -> float:
+    """Wall-clock read, deliberate and suppressed without a rule list."""
+    return time.time()  # vablint: disable

@@ -1,0 +1,12 @@
+"""Deliberate VAB006 violations: products of dB-domain quantities."""
+
+
+def total_gain_db(array_gain_db: float, processing_gain_db: float) -> float:
+    """Combine two gains -- wrongly, by multiplying their dB values."""
+    combined_db = array_gain_db * processing_gain_db
+    return combined_db
+
+
+def loss_ratio(tx_loss_db: float, rx_loss_db: float) -> float:
+    """Ratio of two losses -- wrongly, dividing dB by dB."""
+    return tx_loss_db / rx_loss_db

@@ -1,0 +1,12 @@
+"""Clean twin: dB-domain quantities compose additively."""
+
+
+def total_gain_db(array_gain_db: float, processing_gain_db: float) -> float:
+    """dB gains add; the product lives in the linear domain."""
+    combined_db = array_gain_db + processing_gain_db
+    return combined_db
+
+
+def loss_ratio(tx_loss_db: float, rx_loss_db: float) -> float:
+    """A linear ratio of dB losses is a dB difference, then a power of 10."""
+    return 10.0 ** ((tx_loss_db - rx_loss_db) / 10.0)

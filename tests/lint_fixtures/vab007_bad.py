@@ -1,0 +1,7 @@
+"""Deliberate VAB007 violation: additive mix of dB and linear power."""
+
+
+def snr_with_margin(snr_db: float) -> float:
+    """Apply a safety margin -- wrongly, a linear factor onto a dB value."""
+    margin_linear = 10.0 ** (3.0 / 10.0)
+    return snr_db - margin_linear

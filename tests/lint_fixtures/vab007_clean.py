@@ -1,0 +1,7 @@
+"""Clean twin: margins on dB quantities are themselves dB."""
+
+
+def snr_with_margin(snr_db: float) -> float:
+    """Subtract the margin in the same (log) domain."""
+    margin_db = 3.0
+    return snr_db - margin_db

@@ -1,0 +1,13 @@
+"""Deliberate VAB008 violations: Hz where radians are expected."""
+
+import math
+
+
+def carrier_sample(frequency_hz: float) -> float:
+    """Sample the carrier -- wrongly, passing Hz straight into sin()."""
+    return math.sin(frequency_hz)
+
+
+def detune_hz(frequency_hz: float, omega_rad_per_s: float) -> float:
+    """Offset between two frequencies -- wrongly, Hz minus rad/s."""
+    return frequency_hz - omega_rad_per_s

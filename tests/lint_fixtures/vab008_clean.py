@@ -1,0 +1,15 @@
+"""Clean twin: convert to one angular convention before mixing."""
+
+import math
+
+
+def carrier_sample(frequency_hz: float, time_s: float) -> float:
+    """Convert to angular phase (rad) before trigonometry."""
+    phase_rad = 2.0 * math.pi * frequency_hz * time_s
+    return math.sin(phase_rad)
+
+
+def detune_hz(frequency_hz: float, omega_rad_per_s: float) -> float:
+    """Bring rad/s back to Hz, then compare."""
+    other_hz = omega_rad_per_s / (2.0 * math.pi)
+    return frequency_hz - other_hz

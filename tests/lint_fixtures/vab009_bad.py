@@ -1,0 +1,12 @@
+"""Deliberate VAB009 violations: metre/kilometre mix-ups."""
+
+
+def absorption_loss_db(alpha_db_per_km: float, distance_m: float) -> float:
+    """Path absorption -- wrongly, dB/km times metres with no / 1e3."""
+    loss_db = alpha_db_per_km * distance_m
+    return loss_db
+
+
+def round_trip_m(range_m: float, detour_km: float) -> float:
+    """Total path -- wrongly, adding kilometres onto metres."""
+    return range_m + detour_km

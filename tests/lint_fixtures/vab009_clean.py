@@ -1,0 +1,13 @@
+"""Clean twin: one length convention per expression."""
+
+
+def absorption_loss_db(alpha_db_per_km: float, distance_m: float) -> float:
+    """Convert metres to kilometres before applying a dB/km coefficient."""
+    loss_db = alpha_db_per_km * distance_m / 1e3
+    return loss_db
+
+
+def round_trip_m(range_m: float, detour_km: float) -> float:
+    """Convert the detour to metres first, then stay in metres."""
+    detour_m = detour_km * 1e3
+    return range_m + detour_m

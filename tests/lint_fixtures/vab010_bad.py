@@ -1,0 +1,19 @@
+"""Deliberate VAB010 violations: unit conflicts across call boundaries."""
+
+import math
+
+
+def spreading_term_db(distance_m: float) -> float:
+    """Toy spreading loss (15 log10 d), dB re 1 m."""
+    return 15.0 * math.log10(max(distance_m, 1.0))
+
+
+def budget_at_db(range_km: float) -> float:
+    """Evaluate the budget -- wrongly, handing kilometres to a metre API."""
+    return spreading_term_db(range_km)
+
+
+def detected_power_db(level_db: float) -> float:
+    """Linear power -- wrongly exposed under a dB-suffixed name."""
+    power_lin = 10.0 ** (level_db / 10.0)
+    return power_lin

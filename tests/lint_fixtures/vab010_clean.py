@@ -1,0 +1,18 @@
+"""Clean twin: units agree at call sites and return boundaries."""
+
+import math
+
+
+def spreading_term_db(distance_m: float) -> float:
+    """Toy spreading loss (15 log10 d), dB re 1 m."""
+    return 15.0 * math.log10(max(distance_m, 1.0))
+
+
+def budget_at_db(range_km: float) -> float:
+    """Convert to metres before calling the metre-typed API."""
+    return spreading_term_db(range_km * 1e3)
+
+
+def detected_power(level_db: float) -> float:
+    """Linear power, named accordingly."""
+    return 10.0 ** (level_db / 10.0)

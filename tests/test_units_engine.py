@@ -1,0 +1,312 @@
+"""Tier-1 tests for the dimensional-analysis engine (VAB006..VAB010).
+
+Fixture pairs with pinned line numbers lock each rule; the cache tests
+lock the incremental contract (edit one file -> only it and its
+call-graph dependents re-analyze); the determinism test locks
+byte-identical reports; the baseline tests lock the differential CI
+gate's arithmetic.
+"""
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import discover_files, lint_paths, render_json
+from repro.analysis.findings import Finding
+from repro.analysis.units import (
+    UNIT_RULE_IDS,
+    UNIT_RULES,
+    analyze_units,
+    diff_against_baseline,
+    finding_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.units.vocab import (
+    combine_additive,
+    combine_divisive,
+    combine_multiplicative,
+    unit_from_name,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+# rule id -> (bad fixture, expected finding lines in order)
+EXPECTED_UNITS_BAD = {
+    "VAB006": ("vab006_bad.py", [6, 12]),
+    "VAB007": ("vab007_bad.py", [7]),
+    "VAB008": ("vab008_bad.py", [8, 13]),
+    "VAB009": ("vab009_bad.py", [6, 12]),
+    "VAB010": ("vab010_bad.py", [13, 19]),
+}
+
+
+# ---------------------------------------------------------------------------
+# the rules, one by one
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_UNITS_BAD))
+def test_bad_fixture_trips_exactly_the_expected_lines(rule_id):
+    name, lines = EXPECTED_UNITS_BAD[rule_id]
+    report = lint_paths([FIXTURES / name], select=[rule_id], units=True)
+    assert [f.rule_id for f in report.findings] == [rule_id] * len(lines)
+    assert [f.line for f in report.findings] == lines
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_UNITS_BAD))
+def test_clean_twin_is_clean_under_every_rule(rule_id):
+    name = EXPECTED_UNITS_BAD[rule_id][0].replace("_bad", "_clean")
+    report = lint_paths([FIXTURES / name], units=True)
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_unit_rule_ids_and_catalogue_agree():
+    assert UNIT_RULE_IDS == tuple(sorted(EXPECTED_UNITS_BAD))
+    for rule_id, (name, summary) in UNIT_RULES.items():
+        assert name and summary, rule_id
+
+
+def test_src_repro_is_dimensionally_clean():
+    """The acceptance gate: the shipped physics carries no unit bugs."""
+    package_root = Path(repro.__file__).resolve().parent
+    report = analyze_units(discover_files([package_root]))
+    assert report.clean, "\n".join(f.render() for f in report.findings)
+    assert report.files > 50
+    assert report.passes >= 1
+
+
+def test_units_findings_respect_suppressions(tmp_path):
+    src = (
+        "def f(a_db: float, b_db: float) -> float:\n"
+        "    return a_db * b_db  # vablint: disable=VAB006\n"
+    )
+    path = tmp_path / "suppressed.py"
+    path.write_text(src)
+    assert analyze_units([path]).clean
+
+
+def test_interprocedural_conflict_across_files(tmp_path):
+    (tmp_path / "callee.py").write_text(
+        "def spreading_db(distance_m: float) -> float:\n"
+        "    return 15.0\n"
+    )
+    (tmp_path / "caller.py").write_text(
+        "from callee import spreading_db\n"
+        "\n"
+        "def budget(range_km: float) -> float:\n"
+        "    return spreading_db(range_km)\n"
+    )
+    report = analyze_units(sorted(tmp_path.glob("*.py")))
+    assert [(f.rule_id, Path(f.path).name, f.line) for f in report.findings] == [
+        ("VAB010", "caller.py", 4)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# incremental cache
+# ---------------------------------------------------------------------------
+
+
+def _write_three_modules(tmp_path):
+    a = tmp_path / "alpha.py"
+    b = tmp_path / "beta.py"
+    c = tmp_path / "gamma.py"
+    a.write_text(
+        "def source_level_db() -> float:\n"
+        "    return 180.0\n"
+    )
+    b.write_text(
+        "from alpha import source_level_db\n"
+        "\n"
+        "def margin_db() -> float:\n"
+        "    return source_level_db() - 10.0\n"
+    )
+    c.write_text(
+        "def spacing_m() -> float:\n"
+        "    return 0.042\n"
+    )
+    return a, b, c
+
+
+def test_cache_reanalyzes_only_changed_files_and_dependents(tmp_path):
+    a, b, c = _write_three_modules(tmp_path)
+    cache = tmp_path / "units_cache.json"
+    files = [a, b, c]
+
+    cold = analyze_units(files, cache_path=cache)
+    assert sorted(cold.analyzed) == sorted(f.as_posix() for f in files)
+    assert cold.reused == []
+
+    warm = analyze_units(files, cache_path=cache)
+    assert warm.analyzed == []
+    assert sorted(warm.reused) == sorted(f.as_posix() for f in files)
+
+    # Editing alpha dirties alpha AND its caller beta, but not gamma.
+    a.write_text(
+        "def source_level_db() -> float:\n"
+        "    return 175.0\n"
+    )
+    edited = analyze_units(files, cache_path=cache)
+    assert sorted(edited.analyzed) == sorted([a.as_posix(), b.as_posix()])
+    assert edited.reused == [c.as_posix()]
+
+
+def test_cache_catches_findings_introduced_in_dependents(tmp_path):
+    a, b, c = _write_three_modules(tmp_path)
+    cache = tmp_path / "units_cache.json"
+    files = [a, b, c]
+    assert analyze_units(files, cache_path=cache).clean
+
+    # The callee's return changes meaning: the cached caller must be
+    # re-analyzed against the new summary and now conflicts.
+    a.write_text(
+        "def source_level_db() -> float:\n"
+        "    level_lin = 1e18\n"
+        "    return level_lin\n"
+    )
+    report = analyze_units(files, cache_path=cache)
+    assert b.as_posix() in report.analyzed
+    assert any(f.rule_id == "VAB010" for f in report.findings), [
+        f.render() for f in report.findings
+    ]
+
+
+def test_cache_invalidates_on_engine_version_change(tmp_path, monkeypatch):
+    a, b, c = _write_three_modules(tmp_path)
+    cache = tmp_path / "units_cache.json"
+    analyze_units([a, b, c], cache_path=cache)
+    import repro.analysis.units.cache as cache_mod
+    monkeypatch.setattr(cache_mod, "ENGINE_VERSION", "999.0.0")
+    report = analyze_units([a, b, c], cache_path=cache)
+    assert report.reused == []
+    assert len(report.analyzed) == 3
+
+
+def test_damaged_cache_degrades_to_cold_run(tmp_path):
+    a, b, c = _write_three_modules(tmp_path)
+    cache = tmp_path / "units_cache.json"
+    cache.write_text("{not json")
+    report = analyze_units([a, b, c], cache_path=cache)
+    assert len(report.analyzed) == 3
+    # And the rewritten cache is usable.
+    assert analyze_units([a, b, c], cache_path=cache).analyzed == []
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+
+def test_reports_are_byte_identical_across_runs():
+    bad = [FIXTURES / name for name, _ in EXPECTED_UNITS_BAD.values()]
+    first = render_json(lint_paths(bad, units=True))
+    second = render_json(lint_paths(bad, units=True))
+    assert first == second
+
+
+def test_cached_findings_match_cold_findings_exactly(tmp_path):
+    bad = [FIXTURES / name for name, _ in EXPECTED_UNITS_BAD.values()]
+    cache = tmp_path / "units_cache.json"
+    cold = lint_paths(bad, units=True, units_cache=cache)
+    warm = lint_paths(bad, units=True, units_cache=cache)
+    assert warm.units_stats["analyzed"] == 0
+    cold_payload = json.loads(render_json(cold))
+    warm_payload = json.loads(render_json(warm))
+    cold_payload.pop("units")
+    warm_payload.pop("units")
+    assert cold_payload == warm_payload
+
+
+def test_parallel_jobs_match_serial_output():
+    bad = [FIXTURES / name for name, _ in EXPECTED_UNITS_BAD.values()]
+    serial = render_json(lint_paths(bad, jobs=1))
+    parallel = render_json(lint_paths(bad, jobs=2))
+    assert serial == parallel
+
+
+# ---------------------------------------------------------------------------
+# differential baselines
+# ---------------------------------------------------------------------------
+
+
+def test_baseline_roundtrip_absorbs_known_findings(tmp_path):
+    report = lint_paths([FIXTURES / "vab006_bad.py"], select=["VAB006"], units=True)
+    assert report.findings
+    path = tmp_path / "baseline.json"
+    write_baseline(report.findings, path)
+    new, resolved = diff_against_baseline(report.findings, load_baseline(path))
+    assert new == [] and resolved == 0
+
+
+def test_baseline_flags_only_new_findings(tmp_path):
+    six = lint_paths([FIXTURES / "vab006_bad.py"], select=["VAB006"], units=True)
+    path = tmp_path / "baseline.json"
+    write_baseline(six.findings, path)
+    both = lint_paths(
+        [FIXTURES / "vab006_bad.py", FIXTURES / "vab007_bad.py"], units=True
+    )
+    new, resolved = diff_against_baseline(both.findings, load_baseline(path))
+    assert {f.rule_id for f in new} == {"VAB007"}
+    assert resolved == 0
+
+
+def test_baseline_counts_resolved_debt(tmp_path):
+    both = lint_paths(
+        [FIXTURES / "vab006_bad.py", FIXTURES / "vab007_bad.py"], units=True
+    )
+    path = tmp_path / "baseline.json"
+    write_baseline(both.findings, path)
+    six_only = lint_paths([FIXTURES / "vab006_bad.py"], units=True)
+    new, resolved = diff_against_baseline(six_only.findings, load_baseline(path))
+    assert new == []
+    assert resolved == len(both.findings) - len(six_only.findings)
+
+
+def test_baseline_keys_ignore_line_numbers():
+    f1 = Finding(path="a.py", line=5, col=0, rule_id="VAB006", message="msg")
+    f2 = Finding(path="a.py", line=50, col=4, rule_id="VAB006", message="msg")
+    assert finding_key(f1) == finding_key(f2)
+    new, _ = diff_against_baseline([f2], Counter({finding_key(f1): 1}))
+    assert new == []
+    # But a second instance of the same violation is new.
+    new, _ = diff_against_baseline([f1, f2], Counter({finding_key(f1): 1}))
+    assert len(new) == 1 and new[0].line == 50
+
+
+def test_baseline_rejects_wrong_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": {}}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+# ---------------------------------------------------------------------------
+# the unit algebra itself
+# ---------------------------------------------------------------------------
+
+
+def test_suffix_vocabulary():
+    assert unit_from_name("snr_db") == "dB"
+    assert unit_from_name("range_m") == "m"
+    assert unit_from_name("alpha_db_per_km") == "dB/km"
+    assert unit_from_name("loss_db_per_bounce") == "dB"
+    # Bare _s is deliberately not seconds (w_s, f_s are frequencies).
+    assert unit_from_name("w_s") is None
+    assert unit_from_name("plain_name") is None
+
+
+def test_conversion_algebra():
+    assert combine_divisive("m", None, 1e3) == "km"
+    assert combine_multiplicative("km", None, b_const=1e3) == "m"
+    assert combine_multiplicative("dB/km", "km") == "dB"
+    assert combine_multiplicative("dB/km", "m") == "dB*m/km"
+    assert combine_divisive("dB*m/km", None, 1e3) == "dB"
+    assert combine_multiplicative("pi-scalar", "Hz") == "rad/s"
+    assert combine_additive("dB", "dB") == "dB"
+    assert combine_additive("dB", "scalar") == "dB"
+    assert combine_divisive("m", "s") == "m/s"
+    assert combine_divisive("m", "m") == "scalar"

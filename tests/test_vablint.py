@@ -118,6 +118,23 @@ def test_file_level_suppression():
     assert report.clean
 
 
+def test_bare_disable_suppresses_every_rule():
+    """``# vablint: disable`` with no rule list means disable=all."""
+    report = lint_paths([FIXTURES / "suppressed_bare.py"])
+    assert report.clean
+    index = SuppressionIndex.from_source("import x  # vablint: disable\n")
+    assert index.is_suppressed(1, "VAB001")
+    assert index.is_suppressed(1, "VAB999")
+    # The bare form is line-scoped, not file-scoped.
+    assert not index.is_suppressed(2, "VAB001")
+
+
+def test_bare_disable_file_suppresses_everywhere():
+    index = SuppressionIndex.from_source("# vablint: disable-file\nimport x\n")
+    assert index.is_suppressed(1, "VAB001")
+    assert index.is_suppressed(99, "VAB004")
+
+
 def test_suppression_index_ignores_strings():
     index = SuppressionIndex.from_source(
         's = "# vablint: disable=VAB001"\nimport numpy\n'
@@ -244,3 +261,100 @@ def test_bench_perf_lint_gate():
         sys.path.pop(0)
     record = bench_perf.lint_gate(allow_dirty=False)
     assert record is not None and record["clean"] is True
+
+
+# ---------------------------------------------------------------------------
+# discovery excludes
+# ---------------------------------------------------------------------------
+
+
+def test_discover_files_excludes_fixture_tree_by_default():
+    from repro.analysis import discover_files
+
+    files = discover_files([REPO_ROOT / "tests"])
+    assert files, "discovery found nothing under tests/"
+    assert not any("lint_fixtures" in f.as_posix() for f in files)
+
+
+def test_discover_files_exclude_override_and_custom_globs():
+    from repro.analysis import discover_files
+
+    # An empty exclude list restores the fixtures.
+    files = discover_files([REPO_ROOT / "tests"], exclude=[])
+    assert any("lint_fixtures" in f.as_posix() for f in files)
+    # Custom globs stack on file names too.
+    files = discover_files([REPO_ROOT / "tests"], exclude=["test_vablint*"])
+    assert not any(f.name.startswith("test_vablint") for f in files)
+
+
+def test_discover_files_never_excludes_named_files():
+    from repro.analysis import discover_files
+
+    target = FIXTURES / "vab001_bad.py"
+    assert discover_files([target]) == [target]
+
+
+# ---------------------------------------------------------------------------
+# the units engine through the CLIs
+# ---------------------------------------------------------------------------
+
+
+def test_vablint_cli_units_flag(tmp_path):
+    cache = tmp_path / "cache.json"
+    code, out, _ = run_vablint(
+        "--units", "--units-cache", str(cache),
+        str(FIXTURES / "vab009_bad.py"),
+    )
+    assert code == EXIT_FINDINGS
+    assert "VAB009" in out
+    code, out, _ = run_vablint(
+        "--units", "--no-units-cache", str(FIXTURES / "vab009_clean.py")
+    )
+    assert code == EXIT_CLEAN
+    assert "units: engine" in out
+
+
+def test_vablint_cli_baseline_workflow(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    bad = str(FIXTURES / "vab006_bad.py")
+    # Capture current debt.
+    code, _, err = run_vablint(
+        "--units", "--no-units-cache", "--baseline", str(baseline),
+        "--update-baseline", bad,
+    )
+    assert code == EXIT_CLEAN and "wrote baseline" in err
+    # Same tree now gates clean.
+    code, _, err = run_vablint(
+        "--units", "--no-units-cache", "--baseline", str(baseline), bad,
+    )
+    assert code == EXIT_CLEAN and "absorbed" in err
+    # A new violation elsewhere still fails.
+    code, out, _ = run_vablint(
+        "--units", "--no-units-cache", "--baseline", str(baseline),
+        bad, str(FIXTURES / "vab007_bad.py"),
+    )
+    assert code == EXIT_FINDINGS
+    assert "VAB007" in out and "VAB006" not in out
+
+
+def test_vablint_cli_update_baseline_requires_baseline():
+    code, _, err = run_vablint("--update-baseline", str(FIXTURES / "vab001_clean.py"))
+    assert code == EXIT_ERROR and "--baseline" in err
+
+
+def test_catalogue_lists_unit_rules():
+    code, out, _ = run_vablint("--catalogue")
+    assert code == 0
+    for rule_id in ("VAB006", "VAB007", "VAB008", "VAB009", "VAB010"):
+        assert rule_id in out
+
+
+def test_repro_lint_units_flags(capsys):
+    assert cli.main(
+        ["lint", "--units", "--no-units-cache", "--json",
+         str(FIXTURES / "vab010_bad.py")]
+    ) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"] == {"VAB010": 2}
+    assert payload["units"]["engine_version"]
+    assert "VAB010" in payload["rules"]

@@ -99,7 +99,14 @@ input such as a parse error, reported as pseudo-rule `VAB000`)::
 
     python tools/vablint.py              # lints src/repro
     python tools/vablint.py --json pkg/  # machine-readable report
+    python tools/vablint.py --units      # + dimensional analysis
     python -m repro lint --catalogue     # rule catalogue
+
+Directory recursion skips `tests/lint_fixtures/**` by default (the
+fixtures are deliberately dirty); add globs with `--exclude PATTERN`
+(repeatable — passing any `--exclude` replaces the default list), and
+spread the per-file rules over processes with `--jobs N` (output is
+deterministic regardless of job count).
 
 ### Rule catalogue
 
@@ -110,6 +117,65 @@ input such as a parse error, reported as pseudo-rule `VAB000`)::
 | `VAB003` | unit-suffix-mismatch | no dB/linear, Hz/rad, m/km additive mixing; dB-valued expressions bind to `*_db` names |
 | `VAB004` | wall-clock-in-sim | no `time.time` / `datetime.now` outside `repro.obs` (telemetry is exempt) |
 | `VAB005` | api-hygiene | no mutable default arguments; public functions carry full type annotations |
+| `VAB006` | db-domain-product | (`--units`) no multiplying/dividing two dB-domain quantities — log-domain values compose additively |
+| `VAB007` | db-linear-mix | (`--units`) no additive arithmetic or bindings mixing dB-domain and linear-domain quantities |
+| `VAB008` | hz-rad-confusion | (`--units`) no Hz vs rad/s (or kHz) conflicts in arithmetic, call arguments, trig/filter calls |
+| `VAB009` | m-km-mix | (`--units`) no metre/kilometre mixing; `dB/km` coefficients times metres demand the `/ 1e3` |
+| `VAB010` | call-site-unit-conflict | (`--units`) no argument units contradicting a callee's parameters, or returns contradicting declarations |
+
+### Dimensional analysis (`--units`)
+
+VAB006..VAB010 come from `repro.analysis.units`: a flow-sensitive,
+interprocedural abstract interpretation that tracks a unit lattice
+through assignments, arithmetic, and calls, with a two-pass fixed
+point so callee summaries (parameter/return units) flow to call sites
+across files. Unit facts are seeded from three sources, in priority
+order:
+
+1. **Annotations** — the vocabulary in `repro.analysis.units.vocab`
+   exports `Annotated[float, UnitTag(...)]` aliases (`DB`, `DBM`,
+   `DB_PER_KM`, `LINEAR`, `HZ`, `KHZ`, `RAD_PER_S`, `RAD`, `DEG`,
+   `METERS`, `KM`, `MPS`, `SECONDS`, `MS`, `OHM`). They erase to
+   `float` at runtime; the engine reads them syntactically.
+2. **Signature DB** — `repro.analysis.units.sigdb` curates units for
+   the physics API (`spreading_loss_db`, `thorp_absorption_db_per_km`,
+   `noise_level_db`, ...) plus `math`/`numpy` intrinsics (`sin` wants
+   radians, `log10` feeds the dB promotion rules), so un-annotated
+   call sites are still checked.
+3. **Name suffixes** — `_db`, `_hz`, `_m`, `_km`, `_mps`, `_db_per_km`
+   and friends, shared with VAB003 (bare `_s` is deliberately not
+   seconds: `w_s`/`f_s` are frequencies).
+
+To annotate a new physics function, import the aliases and declare the
+contract; the engine then checks both the body and every caller::
+
+    from repro.analysis.units.vocab import DB, HZ, METERS
+
+    def my_loss_db(range_m: METERS, frequency_hz: HZ) -> DB:
+        ...
+
+Prefer annotation for new code; add a `sigdb` entry only for functions
+whose signature you cannot touch.
+
+Conversions are algebraic, not pattern-matched: `m / 1e3` is `km`,
+`alpha_db_per_km * range_m` is the pseudo-unit `dB*m/km` which only
+becomes `dB` after the missing `/ 1e3` (the paper's flagship unit
+trap), `2 * pi * f_hz` is `rad/s`, and `10 * log10(x)` promotes to dB.
+
+**Incremental cache** — `--units-cache PATH` (tool default
+`.vablint_units_cache.json`, git-ignored) keys per-file results by
+content sha256 + engine version. An edit re-analyzes only the file and
+its call-graph dependents; everything else is replayed byte-identically
+from cache. `--no-units-cache` forces a cold run (what CI does);
+version bumps and damaged caches degrade to cold runs automatically.
+
+**Differential baseline** — `--baseline lint_baseline.json` absorbs
+known findings (keyed by `path::rule::message`, line-number-free so
+unrelated edits don't churn) and fails only on *new* ones;
+`--update-baseline` rewrites the file from the current tree. The
+committed `lint_baseline.json` is empty — the tree is dimensionally
+clean — so CI's gate is effectively zero-tolerance while still giving
+future debt a paved ramp-down path.
 
 ### The RNG-threading contract (what VAB001/VAB002 enforce)
 
@@ -125,15 +191,20 @@ use is reproducible run-to-run (reset it with `reseed_fallback`).
 
 ### Suppressing a finding
 
-Suppression is per-line or per-file, always naming the rule::
+Suppression is per-line or per-file::
 
     x = np.random.default_rng()  # vablint: disable=VAB001
     y = legacy()                 # vablint: disable=VAB001,VAB004
-    z = anything()               # vablint: disable=all
+    z = anything()               # vablint: disable
 
     # vablint: disable-file=VAB003   (anywhere in the file)
+    # vablint: disable-file          (whole file, every rule)
 
-Comments inside string literals do not count (the scanner tokenizes).
+A bare `disable` (no `=RULES`) suppresses **every** rule on that line,
+including the unit rules; `disable=all` is the explicit spelling of the
+same thing. Prefer naming the rule — bare disables also swallow
+findings from rules added later. Comments inside string literals do
+not count (the scanner tokenizes).
 
 ### Adding a rule
 
@@ -152,7 +223,12 @@ rule ids and the clean/dirty verdict. Campaign manifests record it via
 `run_observed_campaign(..., lint_fingerprint=True)` (CLI:
 `python -m repro sweep --manifest run.json --lint-fingerprint`), and
 `tools/bench_perf.py` refuses to write a `BENCH_<n>.json` from a tree
-that does not lint clean (`--allow-dirty-lint` overrides).
+that does not lint clean (`--allow-dirty-lint` overrides); the lint
+record in each BENCH file carries `units_engine_version` so perf
+history pins which dimensional checker vetted the tree. CI runs the
+full gate — per-file rules plus `--units`, differenced against the
+committed `lint_baseline.json` — before the typed-API check, and
+uploads the JSON report as a build artifact.
 
 ### Typed-API gate
 

@@ -3,14 +3,19 @@
 
 Checks the project-specific invariants (``VAB001``..``VAB005``: RNG
 threading, unit-suffix discipline, wall-clock hygiene, typed public
-API) over any set of files or directories. See ``repro.analysis`` for
-the framework and ``--catalogue`` for the rules.
+API) over any set of files or directories; ``--units`` adds the
+interprocedural dimensional-analysis rules (``VAB006``..``VAB010``:
+dB-domain products, dB/linear mixing, Hz vs rad/s, m vs km, call-site
+unit conflicts). See ``repro.analysis`` for the framework and
+``--catalogue`` for the rules.
 
 Usage::
 
     python tools/vablint.py src/repro            # lint the library
     python tools/vablint.py --json src/repro     # CI / machine output
     python tools/vablint.py --select VAB001 src  # one rule only
+    python tools/vablint.py --units src/repro    # + dimensional analysis
+    python tools/vablint.py --units --baseline lint_baseline.json src/repro
     python tools/vablint.py --fingerprint src/repro
 
 Exit codes: 0 clean, 1 rule findings, 2 unusable input (bad arguments,
@@ -31,19 +36,14 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.analysis import (  # noqa: E402
     EXIT_ERROR,
-    lint_paths,
     render_catalogue,
-    render_json,
-    render_text,
     tree_fingerprint,
 )
-
-
-def _rule_list(raw: Optional[str]) -> Optional[List[str]]:
-    """Parse a comma-separated rule-id list argument."""
-    if raw is None:
-        return None
-    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+from repro.analysis.frontend import (  # noqa: E402
+    add_lint_flags,
+    rule_list,
+    run_lint,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -53,17 +53,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
-    parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit the machine-readable JSON report")
-    parser.add_argument("--select", default=None, metavar="RULES",
-                        help="comma-separated rule ids to run exclusively")
-    parser.add_argument("--disable", default=None, metavar="RULES",
-                        help="comma-separated rule ids to skip")
-    parser.add_argument("--catalogue", action="store_true",
-                        help="print the rule catalogue and exit")
-    parser.add_argument("--fingerprint", action="store_true",
-                        help="print the lint fingerprint JSON of the tree "
-                             "and exit (0 clean / 1 dirty)")
+    add_lint_flags(parser)
     args = parser.parse_args(argv)
 
     if args.catalogue:
@@ -71,24 +61,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     paths = args.paths or ["src/repro"]
-    try:
-        if args.fingerprint:
+    if args.fingerprint:
+        try:
             record = tree_fingerprint(paths)
-            print(json.dumps(record, indent=2))
-            return 0 if record["clean"] else 1
-        report = lint_paths(
-            paths, select=_rule_list(args.select), disable=_rule_list(args.disable)
-        )
-    except FileNotFoundError as exc:
-        print(f"vablint: {exc}", file=sys.stderr)
-        return EXIT_ERROR
-    except KeyError as exc:
-        print(f"vablint: {exc.args[0]}", file=sys.stderr)
-        return EXIT_ERROR
+        except FileNotFoundError as exc:
+            print(f"vablint: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        print(json.dumps(record, indent=2))
+        return 0 if record["clean"] else 1
 
-    output = render_json(report) if args.as_json else render_text(report)
-    sys.stdout.write(output)
-    return report.exit_code
+    return run_lint(
+        paths,
+        select=rule_list(args.select),
+        disable=rule_list(args.disable),
+        exclude=args.exclude,
+        jobs=args.jobs,
+        units=args.units,
+        units_cache=None if args.no_units_cache else args.units_cache,
+        baseline=args.baseline,
+        update_baseline=args.update_baseline,
+        as_json=args.as_json,
+    )
 
 
 if __name__ == "__main__":
