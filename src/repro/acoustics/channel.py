@@ -116,7 +116,9 @@ class ChannelResponse:
         """Convolve a complex baseband signal with the channel.
 
         Args:
-            signal: complex baseband samples.
+            signal: complex baseband samples; 1-D, or ``(..., samples)``
+                to push a batch of records through the same response
+                (taps apply along the last axis, rows independent).
             fs: sample rate, Hz.
             start_time_s: absolute time of the first sample (drives the
                 surface animation phase).
@@ -131,10 +133,11 @@ class ChannelResponse:
             Complex baseband output, padded by the excess channel delay.
         """
         signal = np.asarray(signal, dtype=np.complex128)
+        n_samples = signal.shape[-1]
         base_delay = 0.0 if include_delay else self.direct_path.delay_s
         max_excess = max(p.delay_s - base_delay for p in self.paths)
-        out_len = len(signal) + int(math.ceil(max_excess * fs)) + 2
-        out = np.zeros(out_len, dtype=np.complex128)
+        out_len = n_samples + int(math.ceil(max_excess * fs)) + 2
+        out = np.zeros(signal.shape[:-1] + (out_len,), dtype=np.complex128)
 
         animate = (
             time_varying
@@ -152,7 +155,7 @@ class ChannelResponse:
         # of each tap (block-constant, via np.repeat) and add the whole
         # gain-modulated signal at the tap's offset in one shot.
         block = max(int(block_s * fs), 1)
-        starts = np.arange(0, len(signal), block)
+        starts = np.arange(0, n_samples, block)
         times = start_time_s + starts / fs
         k = 2.0 * math.pi * self.carrier_hz / self.sound_speed
         displacement = np.array([self.surface.displacement(t) for t in times])
@@ -161,7 +164,7 @@ class ChannelResponse:
                 grazing = math.radians(abs(p.arrival_deg)) or 0.1
                 dl = 2.0 * p.surface_bounces * displacement * math.sin(grazing)
                 block_gains = p.gain * np.exp(-1j * k * dl)
-                gains = np.repeat(block_gains, block)[: len(signal)]
+                gains = np.repeat(block_gains, block)[:n_samples]
                 _add_delayed(
                     out, gains * signal, (p.delay_s - base_delay) * fs, 1.0
                 )
@@ -173,20 +176,26 @@ class ChannelResponse:
 def _add_delayed(
     out: np.ndarray, signal: np.ndarray, delay_samples: float, gain: complex
 ) -> None:
-    """Add ``gain * signal`` into ``out`` at a fractional sample offset."""
+    """Add ``gain * signal`` into ``out`` at a fractional sample offset.
+
+    Operates along the last axis; leading (batch) axes pass through
+    unchanged, so a ``(trials, samples)`` block shares one tap set.
+    """
     if abs(gain) == 0.0:
         return
+    n_sig = signal.shape[-1]
+    n_out = out.shape[-1]
     n0 = int(math.floor(delay_samples))
     frac = delay_samples - n0
     w0 = (1.0 - frac) * gain
     w1 = frac * gain
-    end0 = min(n0 + len(signal), len(out))
+    end0 = min(n0 + n_sig, n_out)
     if n0 < end0 and abs(w0) > 0:
-        out[n0:end0] += w0 * signal[: end0 - n0]
+        out[..., n0:end0] += w0 * signal[..., : end0 - n0]
     n1 = n0 + 1
-    end1 = min(n1 + len(signal), len(out))
+    end1 = min(n1 + n_sig, n_out)
     if n1 < end1 and abs(w1) > 0:
-        out[n1:end1] += w1 * signal[: end1 - n1]
+        out[..., n1:end1] += w1 * signal[..., : end1 - n1]
 
 
 @dataclass

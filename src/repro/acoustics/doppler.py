@@ -55,17 +55,20 @@ def apply_doppler(
         Doppler-distorted complex baseband samples (same length).
     """
     signal = np.asarray(signal, dtype=np.complex128)
-    if radial_velocity_mps == 0.0 or len(signal) == 0:
+    n_samples = signal.shape[-1]
+    if radial_velocity_mps == 0.0 or n_samples == 0:
         return signal.copy()
     a = doppler_factor(radial_velocity_mps, sound_speed_mps)
-    n = np.arange(len(signal))
+    n = np.arange(n_samples)
     # Envelope compression: sample the input at stretched positions.
+    # Gathers index the last axis, so a (trials, samples) block is
+    # warped row by row with identical arithmetic.
     src_pos = n / (1.0 + a)
-    src_pos = np.clip(src_pos, 0, len(signal) - 1)
+    src_pos = np.clip(src_pos, 0, n_samples - 1)
     i0 = np.floor(src_pos).astype(int)
-    i1 = np.minimum(i0 + 1, len(signal) - 1)
+    i1 = np.minimum(i0 + 1, n_samples - 1)
     frac = src_pos - i0
-    warped = (1.0 - frac) * signal[i0] + frac * signal[i1]
+    warped = (1.0 - frac) * signal[..., i0] + frac * signal[..., i1]
     # Carrier shift.
     f_d = doppler_shift_hz(carrier_hz, radial_velocity_mps, sound_speed_mps)
     rotation = np.exp(2j * np.pi * f_d * n / fs)

@@ -15,7 +15,7 @@ pay for the shaping filter once per operating point.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -186,4 +186,49 @@ def colored_noise(
     bins = rng.standard_normal(n) + 1j * rng.standard_normal(n)
     bins *= _shaping_amplitude(n, fs, psd_db_fn, carrier_hz)
     noise = np.fft.ifft(bins) * np.sqrt(n)
+    return noise.astype(np.complex128)
+
+
+def white_noise_batch(
+    n: int, power: float, rngs: Sequence[np.random.Generator]
+) -> np.ndarray:
+    """One row of complex white noise per generator, shape ``(len(rngs), n)``.
+
+    Row ``t`` is drawn from ``rngs[t]`` with the exact draw sequence of
+    :func:`white_noise` — the batched campaign engine's bit-identity
+    contract rests on each trial's stream seeing the same requests in the
+    same order as the per-trial path.
+    """
+    if power < 0:
+        raise ValueError("power must be non-negative")
+    rows = np.empty((len(rngs), n), dtype=np.complex128)
+    scale = np.sqrt(power / 2.0)
+    for t, rng in enumerate(rngs):
+        rows[t] = scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+    return rows
+
+
+def colored_noise_batch(
+    n: int,
+    fs: float,
+    psd_db_fn: Callable[[float], float],
+    carrier_hz: float,
+    rngs: Sequence[np.random.Generator],
+) -> np.ndarray:
+    """One row of shaped noise per generator, shape ``(len(rngs), n)``.
+
+    The Gaussian bins are drawn per generator (preserving each trial's
+    stream order — see :func:`white_noise_batch`), but the PSD shaping
+    and the inverse FFT run once over the whole ``(trials, n)`` block.
+    Each row is bit-identical to :func:`colored_noise` called with the
+    same generator: the shaping multiply is elementwise and a batched
+    ``ifft`` along the last axis transforms rows independently.
+    """
+    if n <= 0:
+        return np.zeros((len(rngs), 0), dtype=np.complex128)
+    bins = np.empty((len(rngs), n), dtype=np.complex128)
+    for t, rng in enumerate(rngs):
+        bins[t] = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    bins *= _shaping_amplitude(n, fs, psd_db_fn, carrier_hz)[None, :]
+    noise = np.fft.ifft(bins, axis=1) * np.sqrt(n)
     return noise.astype(np.complex128)

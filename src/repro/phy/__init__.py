@@ -46,6 +46,11 @@ from repro.phy.downlink import (
 )
 from repro.phy.transmitter import ReaderTransmitter
 from repro.phy.receiver import DemodResult, ReaderReceiver
+from repro.phy.batch import (
+    BATCHED_ENGINE_VERSION,
+    BatchedReaderReceiver,
+    batch_supported,
+)
 from repro.phy.rake import ChannelEstimate, estimate_channel, rake_combine
 from repro.phy.scrambler import descramble, scramble
 from repro.phy.ber import (
@@ -91,6 +96,9 @@ __all__ = [
     "ReaderTransmitter",
     "ReaderReceiver",
     "DemodResult",
+    "BATCHED_ENGINE_VERSION",
+    "BatchedReaderReceiver",
+    "batch_supported",
     "ChannelEstimate",
     "estimate_channel",
     "rake_combine",

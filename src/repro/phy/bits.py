@@ -28,7 +28,10 @@ def bits_to_bytes(bits: Sequence[int]) -> bytes:
         ValueError: if the bit count is not a multiple of 8 or any value
             is not 0/1.
     """
-    bits = np.asarray(list(bits), dtype=np.int64)
+    if isinstance(bits, np.ndarray):
+        bits = bits if bits.dtype == np.int64 else bits.astype(np.int64)
+    else:
+        bits = np.asarray(list(bits), dtype=np.int64)
     if bits.size % 8 != 0:
         raise ValueError(f"bit count {bits.size} is not a multiple of 8")
     if bits.size and not ((bits == 0) | (bits == 1)).all():

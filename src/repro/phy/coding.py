@@ -29,7 +29,12 @@ class LineCode(enum.Enum):
 
 
 def _as_bits(bits: Sequence[int]) -> np.ndarray:
-    arr = np.asarray(list(bits), dtype=np.int64)
+    if isinstance(bits, np.ndarray):
+        # Fast path: no Python-level list round trip. Hot in the frame
+        # build/parse loops of large campaigns.
+        arr = bits if bits.dtype == np.int64 else bits.astype(np.int64)
+    else:
+        arr = np.asarray(list(bits), dtype=np.int64)
     if arr.size and not ((arr == 0) | (arr == 1)).all():
         raise ValueError("bits must be 0/1")
     return arr
@@ -57,13 +62,18 @@ def fm0_encode(bits: Sequence[int], start_level: int = 1) -> np.ndarray:
     if start_level not in (0, 1):
         raise ValueError("start_level must be 0 or 1")
     chips = np.empty(2 * bits.size, dtype=np.int64)
-    level = start_level
-    for i, b in enumerate(bits):
-        first = 1 - level  # invert at the boundary
-        second = (1 - first) if b == 0 else first
-        chips[2 * i] = first
-        chips[2 * i + 1] = second
-        level = second
+    if bits.size == 0:
+        return chips
+    # The line level toggles over a bit exactly when the bit is 1 (one
+    # boundary inversion for a 1, boundary + mid-bit for a 0), so the
+    # level entering bit i is start_level XOR (parity of bits before i).
+    level_before = np.empty_like(bits)
+    level_before[0] = start_level
+    level_before[1:] = start_level ^ (np.cumsum(bits)[:-1] & 1)
+    first = 1 - level_before  # invert at the boundary
+    second = np.where(bits == 0, level_before, first)
+    chips[0::2] = first
+    chips[1::2] = second
     return chips
 
 
@@ -87,10 +97,56 @@ def fm0_decode(chips: Sequence[int]) -> Tuple[np.ndarray, int]:
         raise ValueError("FM0 chip count must be even")
     pairs = chips.reshape(-1, 2)
     bits = (pairs[:, 0] == pairs[:, 1]).astype(np.int64)
-    violations = 0
-    for i in range(1, len(pairs)):
-        if pairs[i, 0] == pairs[i - 1, 1]:
-            violations += 1
+    violations = int((pairs[1:, 0] == pairs[:-1, 1]).sum())
+    return bits, violations
+
+
+def fm0_encode_batch(bits: np.ndarray, start_level: int = 1) -> np.ndarray:
+    """FM0-encode every row of a ``(rows, n)`` bit matrix at once.
+
+    Integer-exact against :func:`fm0_encode` row by row; the level
+    parity runs as a row-wise cumulative sum. Used by the batched frame
+    builder so a whole campaign point encodes in one pass.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError("bits must be a (rows, n) matrix")
+    if bits.size and not ((bits == 0) | (bits == 1)).all():
+        raise ValueError("bits must be 0/1")
+    if start_level not in (0, 1):
+        raise ValueError("start_level must be 0 or 1")
+    rows, n = bits.shape
+    chips = np.empty((rows, 2 * n), dtype=np.int64)
+    if n == 0:
+        return chips
+    bits = bits.astype(np.int64, copy=False)
+    level_before = np.empty((rows, n), dtype=np.int64)
+    level_before[:, 0] = start_level
+    level_before[:, 1:] = start_level ^ (np.cumsum(bits[:, :-1], axis=1) & 1)
+    first = 1 - level_before
+    second = np.where(bits == 0, level_before, first)
+    chips[:, 0::2] = first
+    chips[:, 1::2] = second
+    return chips
+
+
+def fm0_decode_batch(chips: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode every row of a ``(rows, 2n)`` FM0 chip matrix at once.
+
+    Integer-exact against :func:`fm0_decode` row by row. Returns
+    ``(bits, violations)`` as a ``(rows, n)`` bit matrix and a
+    ``(rows,)`` violation count vector.
+    """
+    chips = np.asarray(chips)
+    if chips.ndim != 2:
+        raise ValueError("chips must be a (rows, n) matrix")
+    if chips.size and not ((chips == 0) | (chips == 1)).all():
+        raise ValueError("bits must be 0/1")
+    if chips.shape[1] % 2 != 0:
+        raise ValueError("FM0 chip count must be even")
+    pairs = chips.reshape(chips.shape[0], -1, 2)
+    bits = (pairs[:, :, 0] == pairs[:, :, 1]).astype(np.int64)
+    violations = (pairs[:, 1:, 0] == pairs[:, :-1, 1]).sum(axis=1)
     return bits, violations
 
 

@@ -15,14 +15,51 @@ _POLY = 0x1021
 _INIT = 0xFFFF
 
 
+def _build_table() -> tuple:
+    """256-entry byte-at-a-time table from the bit recurrence.
+
+    Entry ``b`` is the register after shifting the byte ``b`` through
+    the MSB-first bit loop with a zero starting register, so one table
+    step is integer-exact against eight bit steps.
+    """
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return tuple(table)
+
+
+_TABLE = _build_table()
+_TABLE_NP = np.array(_TABLE, dtype=np.int64)
+
+
+def _as_bit_array(bits: Sequence[int]) -> np.ndarray:
+    if isinstance(bits, np.ndarray):
+        arr = bits if bits.dtype == np.int64 else bits.astype(np.int64)
+    else:
+        arr = np.asarray(list(bits), dtype=np.int64)
+    if arr.size and not ((arr == 0) | (arr == 1)).all():
+        raise ValueError("bits must be 0/1")
+    return arr
+
+
 def crc16_ccitt(bits: Sequence[int]) -> np.ndarray:
     """CRC-16/CCITT-FALSE of a bit sequence, returned as 16 bits (MSB first)."""
-    bits = np.asarray(list(bits), dtype=np.int64)
-    if bits.size and not ((bits == 0) | (bits == 1)).all():
-        raise ValueError("bits must be 0/1")
+    bits = _as_bit_array(bits)
     crc = _INIT
-    for b in bits:
-        crc ^= int(b) << 15
+    # Whole bytes go through the table (packbits is MSB-first, matching
+    # the bit loop); a sub-byte tail finishes bit by bit.
+    full = bits.size & ~7
+    if full:
+        for byte in np.packbits(bits[:full].astype(np.uint8)).tolist():
+            crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    for b in bits[full:].tolist():
+        crc ^= b << 15
         if crc & 0x8000:
             crc = ((crc << 1) ^ _POLY) & 0xFFFF
         else:
@@ -30,9 +67,39 @@ def crc16_ccitt(bits: Sequence[int]) -> np.ndarray:
     return np.array([(crc >> (15 - i)) & 1 for i in range(16)], dtype=np.int64)
 
 
+def crc16_ccitt_batch(bits: np.ndarray) -> np.ndarray:
+    """CRC-16/CCITT-FALSE of every row of a ``(rows, n)`` bit matrix.
+
+    Integer-exact against :func:`crc16_ccitt` row by row — the register
+    recurrence runs vectorised over the row axis, one table step per
+    byte column — so the batched frame codecs can use it without any
+    parity caveat. Returns a ``(rows, 16)`` bit matrix (MSB first).
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError("bits must be a (rows, n) matrix")
+    if bits.size and not ((bits == 0) | (bits == 1)).all():
+        raise ValueError("bits must be 0/1")
+    rows, n = bits.shape
+    crc = np.full(rows, _INIT, dtype=np.int64)
+    full = n & ~7
+    if full:
+        data = np.packbits(bits[:, :full].astype(np.uint8), axis=1).astype(
+            np.int64
+        )
+        for j in range(data.shape[1]):
+            crc = ((crc << 8) & 0xFFFF) ^ _TABLE_NP[((crc >> 8) ^ data[:, j]) & 0xFF]
+    for j in range(full, n):
+        crc = crc ^ (bits[:, j].astype(np.int64) << 15)
+        crc = np.where(
+            crc & 0x8000, ((crc << 1) ^ _POLY) & 0xFFFF, (crc << 1) & 0xFFFF
+        )
+    return ((crc[:, None] >> (15 - np.arange(16))[None, :]) & 1).astype(np.int64)
+
+
 def crc16_check(bits_with_fcs: Sequence[int]) -> bool:
     """Verify a bit sequence whose last 16 bits are its CRC."""
-    bits = np.asarray(list(bits_with_fcs), dtype=np.int64)
+    bits = _as_bit_array(bits_with_fcs)
     if bits.size < 16:
         return False
     payload, fcs = bits[:-16], bits[-16:]

@@ -23,14 +23,14 @@ time-varying channels anyway.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.phy import coding
 from repro.phy.bits import bits_from_bytes, bits_to_bytes
 from repro.phy.coding import LineCode
-from repro.phy.crc import crc16_ccitt
+from repro.phy.crc import crc16_ccitt, crc16_ccitt_batch
 from repro.phy.fec import (
     FECScheme,
     code_rate,
@@ -166,6 +166,135 @@ def build_frame(
 
     coded = coding.encode(np.concatenate([header_bits, body]), config.line_code)
     return np.concatenate([config.preamble, coded])
+
+
+def _batchable(config: FrameConfig) -> bool:
+    """Whether the vectorised frame codecs cover this config."""
+    return (
+        config.line_code is LineCode.FM0
+        and config.fec is FECScheme.NONE
+        and config.interleave_depth == 1
+        and not config.scramble
+    )
+
+
+def build_frames_batch(
+    node_id: int,
+    payloads: Sequence[bytes],
+    config: Optional[FrameConfig] = None,
+) -> np.ndarray:
+    """Build the chip sequences of many frames as one ``(rows, chips)`` block.
+
+    Integer-exact against :func:`build_frame` row by row. Payloads must
+    all be the same length (one campaign point transmits one frame
+    shape); the default FM0/no-FEC/no-interleave config runs fully
+    vectorised — CRC, FM0 encode, and bit packing sweep the row axis —
+    and any other config falls back to per-frame :func:`build_frame`.
+
+    Raises:
+        ValueError: if the payload lengths differ.
+    """
+    if config is None:
+        config = FrameConfig()
+    payloads = [bytes(p) for p in payloads]
+    if len({len(p) for p in payloads}) > 1:
+        raise ValueError("all payloads in a batch must frame to one length")
+    if not payloads:
+        return np.zeros((0, 0), dtype=np.int64)
+    if not _batchable(config):
+        return np.stack(
+            [build_frame(node_id, p, config) for p in payloads]
+        )
+    if not 0 <= node_id <= 255:
+        raise ValueError("node_id must fit in 8 bits")
+    length = len(payloads[0])
+    if length > MAX_PAYLOAD_BYTES:
+        raise ValueError(f"payload exceeds {MAX_PAYLOAD_BYTES} bytes")
+    rows = len(payloads)
+
+    header_bits = bits_from_bytes(bytes([node_id, length]))
+    header = np.broadcast_to(header_bits, (rows, 16))
+    if length:
+        raw = np.frombuffer(b"".join(payloads), dtype=np.uint8)
+        payload_bits = np.unpackbits(raw.reshape(rows, length), axis=1).astype(
+            np.int64
+        )
+    else:
+        payload_bits = np.zeros((rows, 0), dtype=np.int64)
+    fcs = crc16_ccitt_batch(np.concatenate([header, payload_bits], axis=1))
+    coded = coding.fm0_encode_batch(
+        np.concatenate([header, payload_bits, fcs], axis=1)
+    )
+    preamble = np.broadcast_to(config.preamble, (rows, len(config.preamble)))
+    return np.concatenate([preamble, coded], axis=1)
+
+
+def parse_frames_batch(
+    chips: np.ndarray,
+    n_chips: np.ndarray,
+    config: Optional[FrameConfig] = None,
+) -> List[Optional[ParsedFrame]]:
+    """Parse many frames' coded regions at once.
+
+    ``chips`` is a padded ``(rows, max_chips)`` 0/1 matrix; row ``t`` is
+    valid through ``n_chips[t]``. Result ``t`` equals
+    ``parse_frame(chips[t, :n_chips[t]], config)`` exactly — the chip
+    decode, CRC, and packing are integer operations, vectorised here
+    over rows grouped by their decoded length byte (corrupt headers can
+    disagree on length, so each distinct length parses as its own
+    sub-batch). Configs outside the vectorised set (non-FM0, FEC,
+    interleaving, scrambling) fall back to per-row :func:`parse_frame`.
+    """
+    if config is None:
+        config = FrameConfig()
+    chips = np.asarray(chips)
+    n_chips = np.asarray(n_chips)
+    rows = chips.shape[0]
+    results: List[Optional[ParsedFrame]] = [None] * rows
+    if not _batchable(config):
+        return [
+            parse_frame(chips[t, : n_chips[t]], config) for t in range(rows)
+        ]
+    header_chips = config.header_bits() * 2
+    have_header = np.flatnonzero(n_chips >= header_chips)
+    if not len(have_header):
+        return results
+    hdr_pairs = chips[have_header, :header_chips].reshape(-1, 16, 2)
+    header_bits = (hdr_pairs[:, :, 0] == hdr_pairs[:, :, 1]).astype(np.int64)
+    header_bytes = np.packbits(header_bits.astype(np.uint8), axis=1)
+    node_ids = header_bytes[:, 0]
+    lengths = header_bytes[:, 1]
+    for length in np.unique(lengths).tolist():
+        total_chips = config.frame_bits(length) * 2
+        sel = np.flatnonzero(
+            (lengths == length) & (n_chips[have_header] >= total_chips)
+        )
+        if not len(sel):
+            continue
+        g_rows = have_header[sel]
+        pairs = chips[g_rows, :total_chips].reshape(len(sel), -1, 2)
+        all_bits = (pairs[:, :, 0] == pairs[:, :, 1]).astype(np.int64)
+        violations = (pairs[:, 1:, 0] == pairs[:, :-1, 1]).sum(axis=1)
+        payload_bits = all_bits[:, 16 : 16 + length * 8]
+        fcs = all_bits[:, 16 + length * 8 : 16 + length * 8 + 16]
+        crc = crc16_ccitt_batch(
+            np.concatenate([all_bits[:, :16], payload_bits], axis=1)
+        )
+        ok = (crc == fcs).all(axis=1)
+        packed = (
+            np.packbits(payload_bits.astype(np.uint8), axis=1)
+            if length
+            else None
+        )
+        for j, t in enumerate(g_rows.tolist()):
+            results[t] = ParsedFrame(
+                node_id=int(node_ids[sel[j]]),
+                payload=packed[j].tobytes() if packed is not None else b"",
+                crc_ok=bool(ok[j]),
+                fm0_violations=int(violations[j]),
+                fec_corrections=0,
+            )
+    return results
 
 
 def parse_frame(

@@ -16,7 +16,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.dsp.correlate import normalized_correlation, peak_to_sidelobe
+from repro.dsp.correlate import (
+    normalized_correlation,
+    normalized_correlation_batch,
+    peak_to_sidelobe,
+)
 
 BARKER13 = np.array([1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 1, 0, 1], dtype=np.int64)
 """The length-13 Barker code (as 0/1 chips)."""
@@ -131,4 +135,114 @@ def detect_preamble(
         score=score,
         psl=peak_to_sidelobe(combined, guard=samples_per_chip),
         phase=complex(raw),
+    )
+
+
+@dataclass(frozen=True)
+class BatchDetection:
+    """Per-record preamble search results for a batch of records.
+
+    Column ``t`` of every array describes record ``t``; fields of rows
+    where ``ok`` is False are zero and must be ignored.
+    """
+
+    ok: np.ndarray
+    start_index: np.ndarray
+    score: np.ndarray
+    psl: np.ndarray
+    phase: np.ndarray
+
+    def at(self, t: int) -> Optional[PreambleDetection]:
+        """Record ``t``'s detection in the scalar result type."""
+        if not self.ok[t]:
+            return None
+        return PreambleDetection(
+            start_index=int(self.start_index[t]),
+            score=float(self.score[t]),
+            psl=float(self.psl[t]),
+            phase=complex(self.phase[t]),
+        )
+
+
+def detect_preamble_batch(
+    signals: np.ndarray,
+    samples_per_chip: int,
+    repeats: int = 2,
+    threshold: float = 0.5,
+) -> BatchDetection:
+    """Search a ``(trials, n)`` batch of records for the frame preamble.
+
+    The batched counterpart of :func:`detect_preamble`: the per-segment
+    correlations run as one FFT-based batch
+    (:func:`repro.dsp.correlate.normalized_correlation_batch`) and the
+    non-coherent combining, peak pick, and threshold test vectorize over
+    the trial axis. The combining and phase-reference arithmetic uses
+    row-wise elementwise ops and last-axis reductions only, so each
+    record's result is independent of its batch neighbours.
+    """
+    signals = np.asarray(signals, dtype=np.complex128)
+    if signals.ndim != 2:
+        raise ValueError("signals must be a (trials, n) array")
+    trials, n = signals.shape
+    empty = BatchDetection(
+        ok=np.zeros(trials, dtype=bool),
+        start_index=np.zeros(trials, dtype=np.int64),
+        score=np.zeros(trials),
+        psl=np.zeros(trials),
+        phase=np.zeros(trials, dtype=np.complex128),
+    )
+    segment = preamble_template(samples_per_chip, repeats=1)
+    period = len(segment)
+    total_len = period * repeats
+    if trials == 0 or n < total_len:
+        return empty
+    seg_corr = normalized_correlation_batch(signals, segment)
+    n_starts = n - total_len + 1
+    if seg_corr.shape[1] == 0 or n_starts <= 0:
+        return empty
+
+    combined = np.zeros((trials, n_starts))
+    for r in range(repeats):
+        combined += seg_corr[:, r * period : r * period + n_starts]
+    combined /= repeats
+
+    peak = np.argmax(combined, axis=1)
+    score = combined[np.arange(trials), peak]
+    ok = score >= threshold
+    start_index = np.where(ok, peak, 0).astype(np.int64)
+    psl = np.zeros(trials)
+    phase = np.zeros(trials, dtype=np.complex128)
+    hits = np.flatnonzero(ok)
+    if len(hits):
+        # Phase reference: the (real) segment against each record's
+        # preamble window, reduced along the sample axis.
+        gather = signals[
+            hits[:, None], peak[hits, None] + np.arange(period)[None, :]
+        ]
+        phase[hits] = (segment[None, :] * gather).sum(axis=1)
+        # Peak-to-sidelobe, vectorised: blank each row's guard window
+        # (correlation scores are non-negative, so -1 never wins a max)
+        # and take the row max as the sidelobe. Matches
+        # :func:`repro.dsp.correlate.peak_to_sidelobe` row by row: the
+        # peak/sidelobe division is the same float op, and an all-
+        # blanked or all-zero sidelobe maps to inf either way.
+        masked = combined[hits].copy()
+        guard_span = (
+            np.abs(np.arange(n_starts)[None, :] - peak[hits, None])
+            <= samples_per_chip
+        )
+        masked[guard_span] = -1.0
+        side = masked.max(axis=1)
+        with np.errstate(divide="ignore"):
+            psl[hits] = np.where(
+                side > 0.0,
+                score[hits] / np.where(side > 0.0, side, 1.0),
+                np.inf,
+            )
+    return BatchDetection(
+        ok=ok,
+        start_index=start_index,
+        score=np.where(ok, score, 0.0),
+        psl=psl,
+        phase=phase,
     )

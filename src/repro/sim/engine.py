@@ -19,22 +19,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.acoustics.channel import ChannelResponse
 from repro.acoustics.doppler import apply_doppler
-from repro.dsp.noisegen import colored_noise, white_noise
+from repro.dsp.noisegen import (
+    colored_noise,
+    colored_noise_batch,
+    white_noise,
+    white_noise_batch,
+)
+from repro.phy.batch import BatchedReaderReceiver
 from repro.phy.ber import ber as ber_of
 from repro.phy.bits import bits_from_bytes
-from repro.phy.frame import FrameConfig, build_frame
+from repro.phy.frame import FrameConfig, build_frame, build_frames_batch
 from repro.phy.receiver import DemodResult, ReaderReceiver
 from repro.rng import fallback_rng
 from repro.sim.cache import reader_node_response
 from repro.sim.profiling import stage
 from repro.sim.scenario import Scenario
 from repro.vanatta.node import VanAttaNode
+from repro.vanatta.switching import chips_to_waveform_batch
 
 IDLE_CHIPS_BEFORE = 24
 """OFF-state chips simulated before the frame (noise for the detector)."""
@@ -193,6 +200,152 @@ def simulate_trial(
         result = receiver.demodulate(record)
         sent_bits = bits_from_bytes(bytes(payload))
         return _score(result, sent_bits, scenario, theta)
+
+
+def simulate_point_batch(
+    scenario: Scenario,
+    payloads: Sequence[bytes],
+    rngs: Sequence[np.random.Generator],
+    node: Optional[VanAttaNode] = None,
+    frame_config: Optional[FrameConfig] = None,
+    receiver: Optional[ReaderReceiver] = None,
+    si_leak_db: float = 40.0,
+    si_suppression_db: Optional[float] = 130.0,
+    system_noise_figure_db: float = 10.0,
+    include_noise: bool = True,
+    response: Optional[ChannelResponse] = None,
+) -> List[TrialResult]:
+    """Simulate every trial of one operating point as one batch.
+
+    The batched counterpart of :func:`simulate_trial`: all trials share
+    the scenario, node, and channel response, so the whole point runs as
+    a ``(trials, samples)`` block — one channel application, one noise
+    draw shaped per trial stream, one batched demodulation
+    (:class:`repro.phy.batch.BatchedReaderReceiver`). Per-trial results
+    are bitwise-equal to looping :func:`simulate_trial` with the same
+    payloads and generators: every stage either broadcasts a
+    trial-invariant operand or reduces along the sample axis, and the
+    per-trial noise streams draw in the same order as the scalar engine.
+
+    Args:
+        scenario: environment and geometry (shared by all trials).
+        payloads: payload bytes per trial; all the same length.
+        rngs: one generator per trial, already advanced past any draws
+            the caller made (campaigns draw the payloads first, exactly
+            like the per-trial loop).
+        node: the backscatter node. Nodes that override
+            ``modulation_waveform`` or ``reflect`` fall back to per-row
+            calls of those methods, keeping subclass behaviour intact.
+        frame_config: PHY framing (FM0 default).
+        receiver: reader receive chain; must satisfy
+            :func:`repro.phy.batch.batch_supported` (campaigns check
+            this before dispatching here).
+        si_leak_db: static carrier leak below source level.
+        si_suppression_db: post-cancellation residual floor; None = perfect.
+        system_noise_figure_db: receiver noise figure over ambient.
+        include_noise: disable for noise-free functional checks.
+        response: precomputed reader->node multipath response.
+
+    Returns:
+        The scored trials, in ``payloads`` order.
+    """
+    if len(payloads) != len(rngs):
+        raise ValueError("payloads and rngs must have the same length")
+    trials = len(payloads)
+    if trials == 0:
+        return []
+    if node is None:
+        node = VanAttaNode()
+    if frame_config is None:
+        frame_config = FrameConfig()
+
+    fs = scenario.fs
+    sps = scenario.samples_per_chip
+    theta = scenario.incidence_deg
+
+    # --- node chip waveforms (idle guard, frame, idle tail) ---
+    frames = build_frames_batch(node.node_id, payloads, frame_config)
+    idle = np.zeros((trials, IDLE_CHIPS_BEFORE), dtype=np.int64)
+    tail = np.zeros((trials, IDLE_CHIPS_AFTER), dtype=np.int64)
+    all_chips = np.concatenate([idle, frames, tail], axis=1)
+    if type(node).modulation_waveform is VanAttaNode.modulation_waveform:
+        modulation = chips_to_waveform_batch(all_chips, sps, node.switch, fs)
+    else:
+        modulation = np.stack(
+            [node.modulation_waveform(row, sps, fs) for row in all_chips]
+        )
+
+    # --- propagate: reader -> node (trial-invariant: computed once) ---
+    amplitude_tx = 10.0 ** (scenario.source_level_db / 20.0)
+    n_samples = modulation.shape[1]
+    with stage("channel"):
+        tx = np.full(n_samples, amplitude_tx, dtype=np.complex128)
+        if response is None:
+            response = reader_node_response(scenario)
+        incident = response.apply(tx, fs, start_time_s=0.0)[:n_samples]
+
+    # --- reflect off the modulated array ---
+    with stage("reflect"):
+        if type(node) is VanAttaNode:
+            reflected = node.reflect(
+                incident, modulation, scenario.carrier_hz, theta,
+                scenario.water.sound_speed,
+            )
+        else:
+            reflected = np.stack(
+                [
+                    node.reflect(
+                        incident, modulation[t], scenario.carrier_hz, theta,
+                        scenario.water.sound_speed,
+                    )
+                    for t in range(trials)
+                ]
+            )
+
+    # --- propagate back: node -> reader (surface animation continues) ---
+    with stage("channel"):
+        received = response.apply(
+            reflected, fs, start_time_s=response.direct_path.delay_s
+        )[..., :n_samples]
+        if scenario.platform_drift_mps:
+            received = apply_doppler(
+                received,
+                fs,
+                scenario.carrier_hz,
+                2.0 * scenario.platform_drift_mps,
+                scenario.water.sound_speed,
+            )
+
+    # --- reader-side impairments ---
+    record = received
+    leak = amplitude_tx * 10.0 ** (-si_leak_db / 20.0)
+    record = record + leak
+    if include_noise:
+        with stage("noise"):
+            # Per-trial streams draw in the scalar engine's order
+            # (colored bins first, then the residual-SI white draw), so
+            # a trial's noise is bitwise-equal to its per-trial run.
+            ambient = colored_noise_batch(
+                n_samples, fs, scenario.noise.psd_db, scenario.carrier_hz, rngs
+            )
+            record = record + ambient * 10.0 ** (system_noise_figure_db / 20.0)
+            if si_suppression_db is not None:
+                residual_level_db = scenario.source_level_db - si_suppression_db
+                in_band_power = (10.0 ** (residual_level_db / 20.0)) ** 2
+                total_power = in_band_power * fs / scenario.chip_rate
+                record = record + white_noise_batch(n_samples, total_power, rngs)
+
+    # --- demodulate and score ---
+    with stage("demod"):
+        if receiver is None:
+            receiver = ReaderReceiver.for_scenario(scenario, frame_config)
+        demods = BatchedReaderReceiver(receiver).demodulate_batch(record)
+        return [
+            _score(
+                demod, bits_from_bytes(bytes(payload)), scenario, theta
+            )
+            for demod, payload in zip(demods, payloads)
+        ]
 
 
 def _score(

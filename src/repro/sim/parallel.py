@@ -13,6 +13,11 @@ keeping the results **bit-identical** to the serial runner:
 * Results are re-assembled in trial order before aggregation, so the
   floating-point reductions in :meth:`BERPoint.from_trials` see the same
   operand order as the serial loop.
+* Campaigns on the batched point engine (see
+  :attr:`TrialCampaign.engine`) are sharded by whole operating point —
+  one ``(trials, samples)`` computation per worker chunk — while
+  per-trial campaigns keep the finer trial-slice chunking. Both shard
+  shapes reassemble to the same trial order.
 
 Workers warm their own process-local caches (channel responses, Wenz
 shaping filters), so per-point invariants are computed once per worker,
@@ -257,21 +262,32 @@ def run_campaign_parallel(
             busy_s = 0.0
             point_busy_s = {i: 0.0 for i in range(len(scenarios))}
             try:
-                # Oversplit so a straggling chunk (one worker hitting a
-                # detection-failure-heavy slice) doesn't serialise the
-                # campaign behind it — but keep the total future count
-                # near 4x the worker count: every chunk pays a
-                # pickle/dispatch round trip, and on multi-point sweeps
-                # the points themselves already provide interleaving.
-                chunk_budget = max(workers * 4, 1)
-                chunks_per_point = max(
-                    1,
-                    min(
-                        campaign.trials_per_point,
-                        workers * 2,
-                        -(-chunk_budget // max(len(scenarios), 1)),
-                    ),
-                )
+                if campaign.uses_batched_engine():
+                    # Batched campaigns amortise per-trial overhead over
+                    # whole-point batches, so shard by whole point: one
+                    # chunk = one (trials, samples) computation. This
+                    # also keeps span counts scheduling-independent —
+                    # every chunking emits exactly one `batch` span per
+                    # point. (Sub-point splits would still be bit-exact:
+                    # the kernel is batch-size invariant.)
+                    chunks_per_point = 1
+                else:
+                    # Oversplit so a straggling chunk (one worker
+                    # hitting a detection-failure-heavy slice) doesn't
+                    # serialise the campaign behind it — but keep the
+                    # total future count near 4x the worker count:
+                    # every chunk pays a pickle/dispatch round trip,
+                    # and on multi-point sweeps the points themselves
+                    # already provide interleaving.
+                    chunk_budget = max(workers * 4, 1)
+                    chunks_per_point = max(
+                        1,
+                        min(
+                            campaign.trials_per_point,
+                            workers * 2,
+                            -(-chunk_budget // max(len(scenarios), 1)),
+                        ),
+                    )
                 jobs = []
                 for i, scenario in enumerate(scenarios):
                     for start, stop in split_evenly(
@@ -418,6 +434,7 @@ def run_observed_campaign(
             "trials_per_point": campaign.trials_per_point,
             "payload_bytes": campaign.payload_bytes,
             "si_suppression_db": campaign.si_suppression_db,
+            "engine": campaign.engine,
         },
         scenarios=[scenario_snapshot(s) for s in scenarios],
         timings=tracer.as_dict(),

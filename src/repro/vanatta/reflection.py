@@ -37,7 +37,9 @@ def reflect_waveform(
         modulation: real reflection-amplitude waveform (from
             :func:`repro.vanatta.switching.chips_to_waveform`); shorter
             waveforms are padded with their last value (the node holds
-            its final state), longer ones are truncated.
+            its final state), longer ones are truncated. A
+            ``(trials, samples)`` block reflects each row off the same
+            incident carrier, returning a matching block.
         array: the Van Atta array doing the reflecting.
         frequency_hz: carrier frequency.
         theta_deg: incidence angle from array broadside, degrees.
@@ -48,11 +50,17 @@ def reflect_waveform(
     """
     incident = np.asarray(incident, dtype=np.complex128)
     modulation = np.asarray(modulation, dtype=np.float64)
-    if len(modulation) < len(incident):
-        pad_value = modulation[-1] if len(modulation) else 0.0
-        modulation = np.concatenate(
-            [modulation, np.full(len(incident) - len(modulation), pad_value)]
-        )
-    modulation = modulation[: len(incident)]
+    n = incident.shape[-1]
+    n_mod = modulation.shape[-1]
+    if n_mod < n:
+        if n_mod:
+            pad_value = modulation[..., -1:]
+            pad = np.broadcast_to(
+                pad_value, modulation.shape[:-1] + (n - n_mod,)
+            )
+        else:
+            pad = np.zeros(modulation.shape[:-1] + (n - n_mod,))
+        modulation = np.concatenate([modulation, pad], axis=-1)
+    modulation = modulation[..., :n]
     gain = monostatic_gain(array, frequency_hz, theta_deg, sound_speed)
     return incident * modulation * gain

@@ -115,3 +115,46 @@ def chips_to_waveform(
     if shift:
         smoothed = np.concatenate([smoothed[shift:], np.full(shift, smoothed[-1])])
     return smoothed
+
+
+def chips_to_waveform_batch(
+    chips: np.ndarray,
+    samples_per_chip: int,
+    switch: ModulationSwitch,
+    fs: float = None,
+) -> np.ndarray:
+    """Expand a ``(trials, chips)`` block into reflection waveforms.
+
+    Batched counterpart of :func:`chips_to_waveform`: the level mapping
+    and chip expansion vectorize over the trial axis, and each row is
+    bitwise-equal to running the scalar function on it alone. Transition
+    shaping (when ``fs`` gives a ramp longer than one sample) runs the
+    scalar smoothing per row — it is a short convolution that campaigns
+    at the default rates never hit.
+    """
+    if samples_per_chip < 1:
+        raise ValueError("samples_per_chip must be >= 1")
+    chips = np.asarray(chips, dtype=np.int64)
+    if chips.ndim != 2:
+        raise ValueError("chips must be a (trials, chips) array")
+    if chips.size and not ((chips == 0) | (chips == 1)).all():
+        raise ValueError("chips must be 0/1")
+    levels = np.where(chips == 1, switch.on_amplitude, switch.off_amplitude)
+    wave = np.repeat(levels, samples_per_chip, axis=1).astype(np.float64)
+    if fs is None or switch.transition_time_s == 0:
+        return wave
+    ramp = max(int(round(switch.transition_time_s * fs)), 1)
+    if ramp <= 1:
+        return wave
+    kernel = np.ones(ramp) / ramp
+    shift = (ramp - 1) // 2
+    n = wave.shape[1]
+    out = np.empty_like(wave)
+    for t in range(wave.shape[0]):
+        smoothed = np.convolve(wave[t], kernel, mode="full")[:n]
+        if shift:
+            smoothed = np.concatenate(
+                [smoothed[shift:], np.full(shift, smoothed[-1])]
+            )
+        out[t] = smoothed
+    return out

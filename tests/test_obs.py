@@ -301,6 +301,27 @@ class TestManifestRoundTrip:
         assert "\n0      50" in report
         assert "\n1      330" in report
 
+    def test_report_names_the_engine(self, observed_run):
+        # Stock receivers under the auto engine: all trials batched,
+        # and the report says so.
+        _, _, manifest = observed_run
+        report = render_report(manifest)
+        assert "dispatch   : batched (6 trials)" in report
+
+    def test_engine_line_variants(self):
+        from repro.obs.report import engine_line
+
+        batched = "repro.sim.trials.batched_trials"
+        fallback = "repro.sim.trials.fallback_trials"
+        assert engine_line({"counters": {}}) is None
+        assert engine_line({"counters": {batched: 8}}) == "batched (8 trials)"
+        assert engine_line(
+            {"counters": {fallback: 3}}
+        ) == "per-trial fallback (3 trials)"
+        assert engine_line(
+            {"counters": {batched: 5, fallback: 2}}
+        ) == "mixed (5 batched, 2 per-trial fallback)"
+
     def test_event_log_is_lazy(self, tmp_path):
         log = EventLog(tmp_path / "never.jsonl")
         log.close()

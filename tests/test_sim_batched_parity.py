@@ -1,0 +1,153 @@
+"""Batched point engine: bit-identity against the per-trial loop.
+
+The batched engine's contract is not "close" — it is *exact*: for every
+scenario family, payload size, and SI setting, `engine="batched"` must
+reproduce the per-trial loop's ``TrialResult`` stream field for field,
+bit for bit. The kernel earns this by construction (the per-trial path
+delegates to the same vectorised kernel with batch size 1), and this
+suite is the gate that keeps it true as either path evolves.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import Scenario
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.phy.receiver import ReaderReceiver
+from repro.sim.trials import TrialCampaign, run_campaign
+from repro.sim.sweep import sweep_range
+
+TRIALS = 6
+
+
+def run_engines(scenario, **kwargs):
+    batched = TrialCampaign(
+        trials_per_point=TRIALS, seed=2023, engine="batched", **kwargs
+    )
+    serial = dataclasses.replace(batched, engine="per-trial")
+    return (
+        batched.run_trials(scenario, 0, 0, TRIALS),
+        serial.run_trials(scenario, 0, 0, TRIALS),
+    )
+
+
+def assert_identical(batched, serial):
+    assert len(batched) == len(serial) == TRIALS
+    for got, want in zip(batched, serial):
+        assert got == want
+
+
+class TestBatchedMatchesPerTrial:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            Scenario.river(100.0),
+            Scenario.river(330.0),
+            Scenario.ocean(100.0),
+            Scenario(),
+        ],
+        ids=["river-100", "river-330", "ocean-100", "default"],
+    )
+    def test_named_scenarios(self, scenario):
+        assert_identical(*run_engines(scenario))
+
+    @pytest.mark.parametrize("payload_bytes", [4, 8, 16])
+    def test_payload_sizes(self, payload_bytes):
+        assert_identical(
+            *run_engines(Scenario.river(150.0), payload_bytes=payload_bytes)
+        )
+
+    @pytest.mark.parametrize("si_suppression_db", [130.0, None])
+    def test_si_suppression_settings(self, si_suppression_db):
+        assert_identical(
+            *run_engines(
+                Scenario.river(250.0), si_suppression_db=si_suppression_db
+            )
+        )
+
+    def test_sub_batches_are_bitwise_invariant(self):
+        # The parallel runner may hand the kernel any contiguous trial
+        # slice; splitting a point must not perturb a single bit.
+        scenario = Scenario.river(250.0)
+        campaign = TrialCampaign(
+            trials_per_point=TRIALS, seed=2023, engine="batched"
+        )
+        whole = campaign.run_trials(scenario, 0, 0, TRIALS)
+        split = campaign.run_trials(scenario, 0, 0, 2) + campaign.run_trials(
+            scenario, 0, 2, 5
+        ) + campaign.run_trials(scenario, 0, 5, TRIALS)
+        assert whole == split
+
+    def test_full_campaign_matches(self):
+        scenarios = sweep_range(Scenario.river(), [50.0, 330.0])
+        batched = run_campaign(
+            scenarios,
+            TrialCampaign(trials_per_point=4, seed=11, engine="batched"),
+        )
+        serial = run_campaign(
+            scenarios,
+            TrialCampaign(trials_per_point=4, seed=11, engine="per-trial"),
+        )
+        assert batched.points == serial.points
+
+
+class TestEngineDispatch:
+    def test_custom_receiver_factory_falls_back(self):
+        # A custom factory opts out of the batched path (its receiver
+        # could be any object) — results must equal the per-trial loop
+        # and the fallback must be visible in the metrics.
+        scenario = Scenario.river(100.0)
+        factory = lambda sc: ReaderReceiver.for_scenario(sc)  # noqa: E731
+        auto = TrialCampaign(
+            trials_per_point=TRIALS, seed=3, receiver_factory=factory
+        )
+        pinned = TrialCampaign(
+            trials_per_point=TRIALS, seed=3, engine="per-trial"
+        )
+        assert not auto.uses_batched_engine()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            got = auto.run_trials(scenario, 0, 0, TRIALS)
+        want = pinned.run_trials(scenario, 0, 0, TRIALS)
+        assert got == want
+        assert registry.counters["repro.sim.trials.fallback_trials"] == TRIALS
+        assert "repro.sim.trials.batched_trials" not in registry.counters
+
+    def test_auto_uses_batched_engine_for_stock_receivers(self):
+        scenario = Scenario.river(100.0)
+        campaign = TrialCampaign(trials_per_point=TRIALS, seed=3)
+        assert campaign.uses_batched_engine()
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            campaign.run_trials(scenario, 0, 0, TRIALS)
+        assert registry.counters["repro.sim.trials.batched_trials"] == TRIALS
+        assert "repro.sim.trials.fallback_trials" not in registry.counters
+        assert registry.counters["repro.phy.batch.batches"] >= 1
+        assert registry.gauges["repro.phy.batch.size"] == TRIALS
+
+    def test_unsupported_receiver_falls_back_under_auto(self):
+        scenario = Scenario.river(100.0)
+        rake = lambda sc: ReaderReceiver.for_scenario(sc, rake_taps=2)  # noqa: E731
+        campaign = TrialCampaign(
+            trials_per_point=2, seed=5, receiver_factory=rake
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            campaign.run_trials(scenario, 0, 0, 2)
+        assert registry.counters["repro.sim.trials.fallback_trials"] == 2
+
+    def test_engine_batched_rejects_unsupported_receiver(self):
+        scenario = Scenario.river(100.0)
+        rake = lambda sc: ReaderReceiver.for_scenario(sc, rake_taps=2)  # noqa: E731
+        campaign = TrialCampaign(
+            trials_per_point=2, seed=5, engine="batched",
+            receiver_factory=rake,
+        )
+        with pytest.raises(ValueError, match="batched"):
+            campaign.run_trials(scenario, 0, 0, 2)
+
+    def test_invalid_engine_name_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            TrialCampaign(engine="warp-drive")

@@ -94,8 +94,9 @@ class TestParallelDeterminism:
             workers=1, timings=timings,
         )
         report = timings.as_dict()
-        for stage in ("channel", "reflect", "noise", "demod"):
-            assert report[stage]["count"] >= 2
+        # Batched engine: stages run once per point batch, not per trial.
+        for stage in ("batch", "channel", "reflect", "noise", "demod"):
+            assert report[stage]["count"] >= 1
             assert report[stage]["total_s"] >= 0.0
 
     def test_telemetry_does_not_perturb_results(self):
@@ -125,13 +126,26 @@ class TestParallelDeterminism:
         )
         # Wall-clocks differ across processes, but the counts — how many
         # times each stage ran — must agree leaf-for-leaf. (The serial
-        # path has a `point` root span the trial-slice workers don't;
+        # path has a `point` root span the point-shard workers don't;
         # every shared stage below it must match exactly.)
         _, serial_counts = serial_tracer.leaf_totals()
         _, parallel_counts = parallel_tracer.leaf_totals()
-        for stage in ("trial", "channel", "reflect", "noise", "demod"):
+        for stage in ("batch", "channel", "reflect", "noise", "demod"):
             assert parallel_counts[stage] == serial_counts[stage]
-        assert serial_counts["trial"] == 2 * 6
+        # Batched engine: one batch span per point, stages per batch.
+        assert serial_counts["batch"] == 2
+        assert serial_counts["demod"] == 2
+
+    def test_per_trial_engine_still_emits_trial_spans(self):
+        scenarios = sweep_range(Scenario.river(), RANGES)
+        campaign = TrialCampaign(
+            trials_per_point=6, seed=17, engine="per-trial"
+        )
+        tracer = SpanTracer()
+        run_campaign_parallel(scenarios, campaign, workers=1, tracer=tracer)
+        _, counts = tracer.leaf_totals()
+        assert counts["trial"] == 2 * 6
+        assert "batch" not in counts
 
     def test_parallel_metrics_match_serial_totals(self):
         cache.clear_channel_cache()
@@ -250,12 +264,21 @@ class TestBenchSmoke:
         )
         assert record["bench"] == "BENCH_1"
         assert record["parallel_bit_identical"] is True
-        for arm in ("seed_baseline", "optimized_serial", "optimized_parallel"):
+        assert record["batched_bit_identical"] is True
+        assert record["batched_engine_version"] >= 1
+        for arm in (
+            "seed_baseline",
+            "serial_fallback",
+            "optimized_serial",
+            "optimized_parallel",
+        ):
             assert record[arm]["trials"] == 2
             assert record[arm]["trials_per_sec"] > 0
         assert record["optimized_parallel"]["workers"] == 2
         assert set(record["speedup"]) == {
-            "serial_over_baseline", "parallel_over_baseline"
+            "serial_over_baseline",
+            "parallel_over_baseline",
+            "batched_over_fallback",
         }
-        for stage in ("channel", "reflect", "noise", "demod"):
-            assert record["stage_timings"][stage]["count"] >= 2
+        for stage in ("batch", "channel", "reflect", "noise", "demod"):
+            assert record["stage_timings"][stage]["count"] >= 1

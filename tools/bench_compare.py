@@ -29,9 +29,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 GATED_ARMS = ("optimized_serial", "optimized_parallel")
 """Arms whose regressions fail the check. ``seed_baseline`` is an
-emulation of historical code — informational only."""
+emulation of historical code and ``serial_fallback`` is the pinned
+per-trial path kept for exotic receiver configs — informational only."""
 
-INFO_ARMS = ("seed_baseline",)
+INFO_ARMS = ("seed_baseline", "serial_fallback")
 
 
 def bench_paths(root: Path) -> List[Path]:

@@ -1,6 +1,6 @@
 """Perf-regression harness for the Monte-Carlo campaign engine.
 
-Measures trials/sec of three execution arms on the same seeded campaign
+Measures trials/sec of four execution arms on the same seeded campaign
 (a river BER-vs-range sweep, the shape of the paper's headline figure):
 
 * ``seed_baseline`` — the seed repo's serial path, emulated by disabling
@@ -8,17 +8,22 @@ Measures trials/sec of three execution arms on the same seeded campaign
   Wenz evaluation, and rebuilding the receiver per trial. (The baseline
   still gets this PR's O(n) DC blocker and memoized preamble templates,
   so reported speedups are *conservative* relative to the true seed.)
-* ``optimized_serial`` — the cached engine, one process.
-* ``optimized_parallel`` — the cached engine fanned out over a
+* ``serial_fallback`` — the cached engine pinned to the per-trial loop
+  (``engine="per-trial"``), one process. This is the path custom
+  ``receiver_factory`` campaigns take.
+* ``optimized_serial`` — the cached engine on the batched point path
+  (one ``(trials, samples)`` block per point), one process.
+* ``optimized_parallel`` — the batched engine sharded by point over a
   ``ProcessPoolExecutor``.
 
 Also records per-stage wall-clock (channel / reflect / noise / demod)
 via :mod:`repro.sim.profiling`, the run's metrics-registry snapshot
-(cache hits/misses, receiver failures, pool utilization — see
-:mod:`repro.obs.metrics`), and verifies the parallel arm is
-bit-identical to the serial one, then writes everything to the next
-``BENCH_<n>.json`` — the files ``tools/bench_compare.py`` diffs to
-machine-check the perf trajectory.
+(cache hits/misses, receiver failures, batch sizes — see
+:mod:`repro.obs.metrics`), and verifies two bit-identity contracts —
+parallel == serial, and batched == per-trial fallback — then writes
+everything (stamped with the batched kernel's
+``batched_engine_version``) to the next ``BENCH_<n>.json`` — the files
+``tools/bench_compare.py`` diffs to machine-check the perf trajectory.
 
 Run from the repository root::
 
@@ -32,6 +37,7 @@ directly with tiny N so executor regressions surface in tier-1.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -49,6 +55,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.analysis import tree_fingerprint
 from repro.dsp import noisegen
 from repro.obs.metrics import MetricsRegistry
+from repro.phy.batch import BATCHED_ENGINE_VERSION
 from repro.sim import cache
 from repro.sim.engine import simulate_trial
 from repro.sim.parallel import run_campaign_parallel
@@ -176,6 +183,20 @@ def run_bench(
     n_base = run_baseline(scenarios, campaign)
     baseline = _arm(time.perf_counter() - t0, n_base)
 
+    # Per-trial fallback arm: the cached engine with the batched path
+    # pinned off — the reference both for the batched speedup and for
+    # the batched == per-trial bit-identity gate.
+    fallback_campaign = dataclasses.replace(campaign, engine="per-trial")
+    cache.clear_channel_cache()
+    noisegen.clear_noise_cache()
+    run_campaign(scenarios[:1], dataclasses.replace(
+        fallback_campaign, trials_per_point=2))
+    t0 = time.perf_counter()
+    fallback = run_campaign(
+        scenarios, fallback_campaign, label="bench-fallback"
+    )
+    fallback_arm = _arm(time.perf_counter() - t0, fallback.total_trials)
+
     cache.clear_channel_cache()
     noisegen.clear_noise_cache()
     serial_timings = StageTimings()
@@ -204,12 +225,15 @@ def run_bench(
     parallel_arm["workers"] = workers
 
     identical = serial.points == parallel.points
+    batched_identical = serial.points == fallback.points
     base_rate = baseline["trials_per_sec"] or 1e-9
+    fallback_rate = fallback_arm["trials_per_sec"] or 1e-9
     metrics = serial_metrics.as_dict()
     counters = metrics["counters"]
     return {
         "bench": bench_name,
         "name": "monte-carlo-campaign-engine",
+        "batched_engine_version": BATCHED_ENGINE_VERSION,
         "config": {
             "trials_per_point": trials_per_point,
             "points": len(ranges_m),
@@ -219,6 +243,7 @@ def run_bench(
             "scenario": "river",
         },
         "seed_baseline": baseline,
+        "serial_fallback": fallback_arm,
         "optimized_serial": serial_arm,
         "optimized_parallel": parallel_arm,
         "speedup": {
@@ -227,6 +252,9 @@ def run_bench(
             ),
             "parallel_over_baseline": round(
                 (parallel_arm["trials_per_sec"] or 0.0) / base_rate, 2
+            ),
+            "batched_over_fallback": round(
+                (serial_arm["trials_per_sec"] or 0.0) / fallback_rate, 2
             ),
         },
         "stage_timings": serial_timings.as_dict(),
@@ -237,6 +265,7 @@ def run_bench(
             "evictions": counters.get("repro.sim.cache.evictions", 0),
         },
         "parallel_bit_identical": identical,
+        "batched_bit_identical": batched_identical,
     }
 
 
@@ -301,6 +330,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"wrote {args.out}")
     if not record["parallel_bit_identical"]:
         print("ERROR: parallel campaign diverged from serial", file=sys.stderr)
+        return 1
+    if not record["batched_bit_identical"]:
+        print(
+            "ERROR: batched campaign diverged from the per-trial fallback",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
