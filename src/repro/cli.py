@@ -9,6 +9,10 @@
     python -m repro trial --site river --range 250
     python -m repro inventory --nodes 8 --q 3
     python -m repro obs report run.json
+    python -m repro obs ls          # content-addressed run ledger
+    python -m repro obs diff a1b2 c3d4
+    python -m repro obs trace run.json -o run.trace.json
+    python -m repro obs timeline    # BENCH_*.json perf trajectory
     python -m repro lint            # determinism/physics linter (vablint)
 
 Every subcommand prints a plain table to stdout and exits 0 on success;
@@ -63,15 +67,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ranges = log_ranges(args.start, args.stop, args.points)
     campaign = TrialCampaign(trials_per_point=args.trials, seed=args.seed)
     scenarios = sweep_range(scenario, ranges)
-    if args.manifest or args.events:
-        result, _ = run_observed_campaign(
+    if args.probes:
+        from repro.obs.probes import set_probe_mode
+
+        set_probe_mode(args.probes)
+    observed = args.manifest or args.events or args.ledger is not None
+    if observed:
+        result, manifest = run_observed_campaign(
             scenarios, campaign, label=args.site, workers=args.workers,
             manifest_path=args.manifest, events_path=args.events,
             lint_fingerprint=args.lint_fingerprint,
+            progress=args.progress,
+            ledger=args.ledger if args.ledger is not None else None,
         )
     else:
+        from repro.obs.progress import ProgressReporter
+
+        reporter = ProgressReporter(
+            total_trials=len(scenarios) * campaign.trials_per_point,
+            label=args.site,
+            enabled=args.progress,
+        )
         result = run_campaign_parallel(
-            scenarios, campaign, label=args.site, workers=args.workers
+            scenarios, campaign, label=args.site, workers=args.workers,
+            progress=reporter if reporter.enabled else None,
         )
     print(f"{'range_m':>8} {'ber':>9} {'frames':>7} {'snr_db':>7}")
     for p in result.points:
@@ -82,6 +101,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"manifest: {args.manifest}")
     if args.events:
         print(f"events  : {args.events}")
+    if observed and args.ledger is not None:
+        from repro.obs.ledger import Ledger, run_key
+
+        store = Ledger(None if args.ledger is True else args.ledger)
+        print(f"ledger  : {store.root} "
+              f"(key {run_key(manifest)[:12]})")
     return 0
 
 
@@ -98,6 +123,75 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     if events_path and Path(events_path).exists():
         events = read_events(events_path)
     print(render_report(manifest, events), end="")
+    return 0
+
+
+def cmd_obs_ls(args: argparse.Namespace) -> int:
+    """List the content-addressed run ledger."""
+    from repro.obs.ledger import Ledger, render_ledger
+
+    print(render_ledger(Ledger(args.ledger)))
+    return 0
+
+
+def _load_ref(ref: str, ledger_root):
+    """A manifest from a file path or a ledger key/run-id prefix."""
+    from pathlib import Path
+
+    from repro.obs.ledger import Ledger
+    from repro.sim.export import load_manifest
+
+    if Path(ref).is_file():
+        return load_manifest(ref)
+    return Ledger(ledger_root).load(ref)
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Diff two runs (ledger refs or manifest files): config, metrics, timings."""
+    from repro.obs.ledger import diff_manifests, render_diff
+
+    a = _load_ref(args.a, args.ledger)
+    b = _load_ref(args.b, args.ledger)
+    diff = diff_manifests(a, b)
+    print(render_diff(diff))
+    differs = bool(
+        diff["config"] or diff["scenarios"] or diff["metrics"]
+    )
+    return 1 if differs else 0
+
+
+def cmd_obs_trace(args: argparse.Namespace) -> int:
+    """Export a run as Chrome trace-event JSON (chrome://tracing, Perfetto)."""
+    from pathlib import Path
+
+    from repro.obs.ledger import Ledger
+    from repro.obs.manifest import read_events
+    from repro.obs.trace import validate_trace_events, write_trace
+
+    if Path(args.ref).is_file():
+        manifest = _load_ref(args.ref, args.ledger)
+        events_path = args.events or manifest.events_path
+    else:
+        record = Ledger(args.ledger).resolve(args.ref)
+        manifest = _load_ref(args.ref, args.ledger)
+        events_path = args.events or (
+            str(record.events_path) if record.events_path else None
+        )
+    events = None
+    if events_path and Path(events_path).exists():
+        events = read_events(events_path)
+    doc = write_trace(args.out, events=events, timings=manifest.timings)
+    count = validate_trace_events(doc)
+    print(f"wrote {args.out}: {count} trace events "
+          f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+def cmd_obs_timeline(args: argparse.Namespace) -> int:
+    """Performance trajectory across the repo's BENCH_*.json records."""
+    from repro.obs.report import load_bench_files, render_timeline
+
+    print(render_timeline(load_bench_files(args.root)), end="")
     return 0
 
 
@@ -244,6 +338,23 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="lint_fingerprint",
                          help="record the library tree's lint fingerprint "
                               "in the manifest (provenance)")
+    p_sweep.add_argument("--ledger", nargs="?", const=True, default=None,
+                         metavar="DIR",
+                         help="file the run in the content-addressed ledger "
+                              "(default root: $VAB_LEDGER_DIR or "
+                              "~/.repro/ledger)")
+    progress_group = p_sweep.add_mutually_exclusive_group()
+    progress_group.add_argument("--progress", action="store_true",
+                                default=None,
+                                help="force the live progress line on")
+    progress_group.add_argument("--no-progress", action="store_false",
+                                dest="progress",
+                                help="force the live progress line off "
+                                     "(default: on in a TTY only)")
+    p_sweep.add_argument("--probes",
+                         choices=("off", "count", "raise"), default=None,
+                         help="runtime physics-invariant probe mode "
+                              "(default: count, or $VAB_PROBES)")
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_obs = sub.add_parser("obs", help="observability: inspect run artifacts")
@@ -255,6 +366,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--events", default=None, metavar="PATH",
                           help="event log (default: the manifest's, if present)")
     p_report.set_defaults(func=cmd_obs_report)
+
+    def add_ledger_arg(p):
+        p.add_argument("--ledger", default=None, metavar="DIR",
+                       help="ledger root (default: $VAB_LEDGER_DIR or "
+                            "~/.repro/ledger)")
+
+    p_ls = obs_sub.add_parser(
+        "ls", help="list the content-addressed run ledger"
+    )
+    add_ledger_arg(p_ls)
+    p_ls.set_defaults(func=cmd_obs_ls)
+
+    p_diff = obs_sub.add_parser(
+        "diff", help="compare two runs: config, metrics, stage timings"
+    )
+    p_diff.add_argument("a", help="ledger key/run-id prefix or manifest path")
+    p_diff.add_argument("b", help="ledger key/run-id prefix or manifest path")
+    add_ledger_arg(p_diff)
+    p_diff.set_defaults(func=cmd_obs_diff)
+
+    p_trace = obs_sub.add_parser(
+        "trace", help="export a run as Chrome trace-event JSON"
+    )
+    p_trace.add_argument("ref",
+                         help="ledger key/run-id prefix or manifest path")
+    p_trace.add_argument("-o", "--out", default="trace.json", metavar="PATH",
+                         help="output trace file (default: trace.json)")
+    p_trace.add_argument("--events", default=None, metavar="PATH",
+                         help="event log (default: the run's, if recorded)")
+    add_ledger_arg(p_trace)
+    p_trace.set_defaults(func=cmd_obs_trace)
+
+    p_timeline = obs_sub.add_parser(
+        "timeline", help="perf trajectory across BENCH_*.json records"
+    )
+    p_timeline.add_argument("root", nargs="?", default=".",
+                            help="directory holding BENCH_*.json (default: .)")
+    p_timeline.set_defaults(func=cmd_obs_timeline)
 
     p_lint = sub.add_parser(
         "lint", help="determinism & physics-invariant linter (vablint)"

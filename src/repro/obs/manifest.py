@@ -14,10 +14,13 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any, List, Optional, Union
+
+MANIFEST_SCHEMA_VERSION = 1
 
 
 def wall_clock_unix() -> float:
@@ -69,6 +72,10 @@ class RunManifest:
     lint: Optional[dict] = None
     """Optional lint provenance: :func:`repro.analysis.tree_fingerprint`
     of the library tree that produced the run (clean flag + hash)."""
+    engine_versions: Optional[dict] = None
+    """Versions of the numeric engines (batched kernel, units table)
+    that produced the run — part of the ledger's identity key, so a
+    kernel rewrite never silently collides with old results."""
 
     @property
     def total_trials(self) -> int:
@@ -82,27 +89,35 @@ class EventLog:
     Each event is one line: ``{"ts": <unix seconds>, "event": <name>,
     ...fields}``. The file is created lazily on the first
     :meth:`emit`, so constructing a log never leaves empty files
-    behind. Usable as a context manager.
+    behind. Every line is flushed as it is written — a run that dies
+    mid-campaign leaves a log that reads up to the crash, not an empty
+    buffer. Emission is thread-safe (progress heartbeats arrive from
+    executor callback threads). Usable as a context manager.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._fh: Optional[IO[str]] = None
+        self._lock = threading.Lock()
 
     def emit(self, event: str, **fields: Any) -> None:
         """Append one event with the current timestamp."""
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w")
         record = {"ts": round(time.time(), 6), "event": event}
         record.update(fields)
-        self._fh.write(json.dumps(record, default=_json_default) + "\n")
+        line = json.dumps(record, default=_json_default) + "\n"
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("w")
+            self._fh.write(line)
+            self._fh.flush()
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "EventLog":
         return self
@@ -111,13 +126,26 @@ class EventLog:
         self.close()
 
 
-def read_events(path: Union[str, Path]) -> List[dict]:
-    """Parse a JSONL event log back into a list of event dicts."""
-    events = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if line:
+def read_events(path: Union[str, Path], strict: bool = False) -> List[dict]:
+    """Parse a JSONL event log back into a list of event dicts.
+
+    By default a torn *final* line — the signature of a writer killed
+    mid-``write`` — is dropped silently, so logs from crashed runs stay
+    readable. Corruption anywhere else, or any corruption under
+    ``strict=True``, raises ``json.JSONDecodeError``.
+    """
+    lines = [
+        line.strip()
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    events: List[dict] = []
+    for pos, line in enumerate(lines):
+        try:
             events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict or pos != len(lines) - 1:
+                raise
     return events
 
 
@@ -160,3 +188,42 @@ def _jsonify(value: Any) -> Any:
 def _json_default(value: Any) -> Any:
     """json.dumps fallback for event fields."""
     return _jsonify(value)
+
+
+def manifest_to_dict(manifest: RunManifest) -> dict:
+    """Serialise a run manifest to a plain dict (JSON-safe).
+
+    Lives here (not :mod:`repro.sim.export`, which re-exports it) so
+    the ledger can file manifests without the obs layer reaching up
+    into sim.
+    """
+    data: dict = {"schema": MANIFEST_SCHEMA_VERSION, "kind": "run-manifest"}
+    data.update(dataclasses.asdict(manifest))
+    return data
+
+
+def manifest_from_dict(data: dict) -> RunManifest:
+    """Rebuild a run manifest from its serialised form.
+
+    Unknown keys are dropped rather than rejected, so manifests written
+    by a newer build with extra fields still load.
+    """
+    if data.get("schema") != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported manifest schema {data.get('schema')!r}; "
+            f"this build reads {MANIFEST_SCHEMA_VERSION}"
+        )
+    if data.get("kind") != "run-manifest":
+        raise ValueError(f"not a run manifest: kind={data.get('kind')!r}")
+    fields = {f.name for f in dataclasses.fields(RunManifest)}
+    return RunManifest(**{k: v for k, v in data.items() if k in fields})
+
+
+def save_manifest(manifest: RunManifest, path: Union[str, Path]) -> None:
+    """Write a run manifest to a JSON file."""
+    Path(path).write_text(json.dumps(manifest_to_dict(manifest), indent=2))
+
+
+def load_manifest(path: Union[str, Path]) -> RunManifest:
+    """Read a run manifest from a JSON file."""
+    return manifest_from_dict(json.loads(Path(path).read_text()))

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.dsp.filters import dc_block_fast
 from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.probes import probe_finite, probe_invariant
 from repro.phy.frame import parse_frames_batch
 from repro.phy.preamble import (
     detect_preamble_batch,
@@ -314,6 +315,9 @@ class BatchedReaderReceiver:
         soft, n_dumps = self._slice_chips_batch(
             centred, rows, start, phase0, cfo
         )
+        # Soft chips are the last analog quantity before hard decisions;
+        # a NaN here would silently slice to arbitrary bits.
+        probe_finite("phy.batch.soft_chips", soft, stage="demod")
 
         frames = parse_frames_batch(
             (soft >= 0.0).astype(np.int64), n_dumps, rx.frame_config
@@ -338,4 +342,12 @@ class BatchedReaderReceiver:
             )
         if crc_failures:
             CRC_FAILURES_COUNTER.inc(crc_failures)
+        probe_invariant(
+            "phy.batch.accounting",
+            len(rows) + misses == trials and 0 <= crc_failures <= len(rows),
+            f"demod accounting mismatch: {trials} records, "
+            f"{len(rows)} detected, {misses} missed, "
+            f"{crc_failures} CRC failures",
+            stage="demod",
+        )
         return results

@@ -33,6 +33,7 @@ import numpy as np
 from repro.dsp.filters import dc_block_fast
 from repro.dsp.timing import symbol_samples, symbol_sum
 from repro.obs.metrics import counter, histogram
+from repro.obs.probes import probe_finite
 from repro.phy.frame import FrameConfig, ParsedFrame, parse_frame
 from repro.phy.preamble import (
     PreambleDetection,
@@ -392,12 +393,19 @@ class ReaderReceiver:
             if result.success:
                 if math.isfinite(result.snr_db):
                     SNR_HISTOGRAM.observe(result.snr_db)
+                probe_finite(
+                    "phy.receiver.soft_chips", soft, stage="demod"
+                )
                 return result
             if best is None or result.snr_db > best.snr_db:
                 best = result
         CRC_FAILURES_COUNTER.inc()
         if best is not None and math.isfinite(best.snr_db):
             SNR_HISTOGRAM.observe(best.snr_db)
+        if best is not None:
+            probe_finite(
+                "phy.receiver.soft_chips", best.chip_soft, stage="demod"
+            )
         return best
 
 

@@ -31,6 +31,7 @@ from repro.dsp.noisegen import (
     white_noise,
     white_noise_batch,
 )
+from repro.obs.probes import probe_signal, probe_unit_interval
 from repro.phy.batch import BatchedReaderReceiver
 from repro.phy.ber import ber as ber_of
 from repro.phy.bits import bits_from_bytes
@@ -195,6 +196,17 @@ def simulate_trial(
 
     # --- demodulate and score ---
     with stage("demod"):
+        probe_signal(
+            "sim.engine.record",
+            record,
+            level_limit_db=scenario.source_level_db,
+            stage="noise" if include_noise else "reflect",
+            stage_arrays=(
+                ("channel", incident),
+                ("reflect", reflected),
+                ("channel", received),
+            ),
+        )
         if receiver is None:
             receiver = ReaderReceiver.for_scenario(scenario, frame_config)
         result = receiver.demodulate(record)
@@ -337,6 +349,21 @@ def simulate_point_batch(
 
     # --- demodulate and score ---
     with stage("demod"):
+        # One cheap reduction over the whole (trials, samples) block:
+        # NaN/Inf anywhere and gross level errors are caught here, and
+        # (on the failure path only) attributed to the first corrupt
+        # stage output.
+        probe_signal(
+            "sim.engine.record",
+            record,
+            level_limit_db=scenario.source_level_db,
+            stage="noise" if include_noise else "reflect",
+            stage_arrays=(
+                ("channel", incident),
+                ("reflect", reflected),
+                ("channel", received),
+            ),
+        )
         if receiver is None:
             receiver = ReaderReceiver.for_scenario(scenario, frame_config)
         demods = BatchedReaderReceiver(receiver).demodulate_batch(record)
@@ -370,6 +397,7 @@ def _score(
     else:
         received_bits = bits_from_bytes(result.frame.payload)
     trial_ber = ber_of(sent_bits, received_bits) if len(sent_bits) else 0.0
+    probe_unit_interval("sim.engine.ber", trial_ber, stage="demod")
     return TrialResult(
         detected=True,
         frame_ok=bool(result.frame is not None and result.frame.crc_ok),

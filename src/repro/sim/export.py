@@ -9,23 +9,29 @@ disk. Plain JSON, schema-versioned, round-trip tested. Two record kinds:
 * **Run manifests** (:func:`save_manifest` / :func:`load_manifest`) —
   the full observability record of a run (seed, scenario snapshots,
   package version, span timings, metrics, results, event-log pointer);
-  see :class:`repro.obs.manifest.RunManifest`.
+  see :class:`repro.obs.manifest.RunManifest`. The manifest codec
+  itself lives in :mod:`repro.obs.manifest` (the ledger needs it below
+  the sim layer) and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import math
 from pathlib import Path
 from typing import Union
 
-from repro.obs.manifest import RunManifest
+from repro.obs.manifest import (  # noqa: F401 - re-exported API
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    load_manifest,
+    manifest_from_dict,
+    manifest_to_dict,
+    save_manifest,
+)
 from repro.sim.results import BERPoint, CampaignResult
 
 SCHEMA_VERSION = 1
-
-MANIFEST_SCHEMA_VERSION = 1
 
 
 def campaign_to_dict(result: CampaignResult) -> dict:
@@ -86,31 +92,3 @@ def load_campaign(path: Union[str, Path]) -> CampaignResult:
     return campaign_from_dict(json.loads(Path(path).read_text()))
 
 
-def manifest_to_dict(manifest: RunManifest) -> dict:
-    """Serialise a run manifest to a plain dict (JSON-safe)."""
-    data = {"schema": MANIFEST_SCHEMA_VERSION, "kind": "run-manifest"}
-    data.update(dataclasses.asdict(manifest))
-    return data
-
-
-def manifest_from_dict(data: dict) -> RunManifest:
-    """Rebuild a run manifest from its serialised form."""
-    if data.get("schema") != MANIFEST_SCHEMA_VERSION:
-        raise ValueError(
-            f"unsupported manifest schema {data.get('schema')!r}; "
-            f"this build reads {MANIFEST_SCHEMA_VERSION}"
-        )
-    if data.get("kind") != "run-manifest":
-        raise ValueError(f"not a run manifest: kind={data.get('kind')!r}")
-    fields = {f.name for f in dataclasses.fields(RunManifest)}
-    return RunManifest(**{k: v for k, v in data.items() if k in fields})
-
-
-def save_manifest(manifest: RunManifest, path: Union[str, Path]) -> None:
-    """Write a run manifest to a JSON file."""
-    Path(path).write_text(json.dumps(manifest_to_dict(manifest), indent=2))
-
-
-def load_manifest(path: Union[str, Path]) -> RunManifest:
-    """Read a run manifest from a JSON file."""
-    return manifest_from_dict(json.loads(Path(path).read_text()))

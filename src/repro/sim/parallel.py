@@ -53,8 +53,10 @@ from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.obs.ledger import Ledger
 from repro.obs.manifest import EventLog, RunManifest, scenario_snapshot, wall_clock_unix
 from repro.obs.metrics import MetricsRegistry, counter, gauge, use_registry
+from repro.obs.progress import ProgressReporter
 from repro.obs.spans import SpanTracer, collect_spans
 from repro.sim.engine import TrialResult
 from repro.sim.profiling import StageTimings
@@ -167,6 +169,7 @@ def run_campaign_parallel(
     tracer: Optional[SpanTracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     events: Optional[EventLog] = None,
+    progress: Optional[ProgressReporter] = None,
 ) -> CampaignResult:
     """Run a campaign with trials fanned out across worker processes.
 
@@ -193,6 +196,10 @@ def run_campaign_parallel(
         events: optional JSONL event log; the runner emits
             ``campaign_start`` / ``chunk_done`` / ``point_end`` /
             ``campaign_end`` events as the run progresses.
+        progress: optional live progress reporter; advanced as trial
+            chunks *complete* (from executor callbacks, not the
+            deterministic harvest loop), so the display is live while
+            results and telemetry stay scheduling-independent.
 
     Returns:
         Aggregated results, one :class:`BERPoint` per scenario, in
@@ -219,6 +226,8 @@ def run_campaign_parallel(
         workers <= 1 or len(scenarios) == 0 or not _is_picklable(campaign)
     )
     effective_workers = 1 if serial else workers
+    if progress is not None:
+        progress.start()
     _emit(
         events,
         "campaign_start",
@@ -248,6 +257,8 @@ def run_campaign_parallel(
                 else:
                     point = campaign.run_point(scenario, point_index=i)
                 out.add(point)
+                if progress is not None:
+                    progress.advance(point.trials)
                 _emit(
                     events,
                     "point_end",
@@ -288,17 +299,27 @@ def run_campaign_parallel(
                             -(-chunk_budget // max(len(scenarios), 1)),
                         ),
                     )
+                def _advance_on_done(future) -> None:
+                    # Runs on the executor's callback thread the moment
+                    # a chunk lands — independent of the ordered harvest
+                    # below, which is what keeps results deterministic.
+                    if future.cancelled() or future.exception() is not None:
+                        return
+                    _, _, chunk_results, _ = future.result()
+                    progress.advance(len(chunk_results))
+
                 jobs = []
                 for i, scenario in enumerate(scenarios):
                     for start, stop in split_evenly(
                         campaign.trials_per_point, chunks_per_point
                     ):
-                        jobs.append(
-                            pool.submit(
-                                _run_chunk, campaign, scenario, i, start,
-                                stop, collect,
-                            )
+                        job = pool.submit(
+                            _run_chunk, campaign, scenario, i, start,
+                            stop, collect,
                         )
+                        if progress is not None:
+                            job.add_done_callback(_advance_on_done)
+                        jobs.append(job)
                 per_point: dict = {i: [] for i in range(len(scenarios))}
                 # Iterate in submission (= trial) order so telemetry
                 # merges are as deterministic as the results.
@@ -350,6 +371,8 @@ def run_campaign_parallel(
                         busy_s / (wall * workers) if wall > 0 else 0.0
                     )
     finally:
+        if progress is not None:
+            progress.finish()
         if timings is not None and fold_tracer is not None:
             timings.merge_tracer(fold_tracer)
 
@@ -376,15 +399,26 @@ def run_observed_campaign(
     manifest_path: Optional[Union[str, Path]] = None,
     events_path: Optional[Union[str, Path]] = None,
     lint_fingerprint: bool = False,
+    progress: Optional[bool] = None,
+    ledger: Optional[Union[bool, str, Path, Ledger]] = None,
 ) -> Tuple[CampaignResult, RunManifest]:
     """Run a campaign with full telemetry and return (result, manifest).
 
-    The manifest captures the seed, scenario snapshots, package
-    version, span timings, and metrics of the run; pass
-    ``manifest_path`` to persist it (JSON, see
+    The manifest captures the seed, scenario snapshots, package and
+    numeric-engine versions, span timings, and metrics of the run;
+    pass ``manifest_path`` to persist it (JSON, see
     :func:`repro.sim.export.save_manifest`) and ``events_path`` to
     stream a JSONL event log alongside. Results remain bit-identical
     to the unobserved runners.
+
+    ``progress`` controls the live stderr progress line (``None`` =
+    on in a TTY, off in CI/pipes; see :mod:`repro.obs.progress`).
+    Heartbeat events always land in the event log when one is open.
+
+    ``ledger`` files the finished manifest in a content-addressed run
+    store (:class:`repro.obs.ledger.Ledger`): ``True`` uses the
+    default root (``$VAB_LEDGER_DIR`` or ``~/.repro/ledger``), a path
+    uses that root, a :class:`Ledger` is used as-is.
 
     With ``lint_fingerprint=True`` the manifest also records the
     :func:`repro.analysis.tree_fingerprint` of the installed ``repro``
@@ -393,6 +427,8 @@ def run_observed_campaign(
     honoured the determinism contract.
     """
     from repro import __version__
+    from repro.analysis.units.cache import ENGINE_VERSION as UNITS_ENGINE_VERSION
+    from repro.phy.batch import BATCHED_ENGINE_VERSION
     from repro.sim.export import campaign_to_dict, save_manifest
 
     if campaign is None:
@@ -402,6 +438,14 @@ def run_observed_campaign(
     tracer = SpanTracer()
     metrics = MetricsRegistry()
     events = EventLog(events_path) if events_path is not None else None
+    reporter = ProgressReporter(
+        total_trials=len(scenarios) * campaign.trials_per_point,
+        label=label,
+        enabled=progress,
+        events=events,
+    )
+    if not reporter.enabled and events is None:
+        reporter = None  # nothing to display, nowhere to heartbeat
     created = wall_clock_unix()
     t0 = time.perf_counter()
     try:
@@ -414,6 +458,7 @@ def run_observed_campaign(
             tracer=tracer,
             metrics=metrics,
             events=events,
+            progress=reporter,
         )
     finally:
         if events is not None:
@@ -442,7 +487,18 @@ def run_observed_campaign(
         results=campaign_to_dict(result),
         events_path=str(events_path) if events_path is not None else None,
         lint=lint_record,
+        engine_versions={
+            "phy.batch": BATCHED_ENGINE_VERSION,
+            "analysis.units": UNITS_ENGINE_VERSION,
+        },
     )
     if manifest_path is not None:
         save_manifest(manifest, manifest_path)
+    if ledger is not None and ledger is not False:
+        store = (
+            ledger
+            if isinstance(ledger, Ledger)
+            else Ledger(None if ledger is True else ledger)
+        )
+        store.record(manifest)
     return result, manifest

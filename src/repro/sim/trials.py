@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.obs.metrics import counter
+from repro.obs.probes import probe_invariant, probe_mode
 from repro.obs.spans import span
 from repro.phy.batch import batch_supported
 from repro.phy.frame import FrameConfig
@@ -33,6 +34,31 @@ FALLBACK_TRIALS_COUNTER = counter(
     "repro.sim.trials.fallback_trials",
     "trials run through the per-trial fallback loop",
 )
+
+
+def _probe_trial_accounting(results: Sequence[TrialResult]) -> None:
+    """Runtime consistency probe over one slice of scored trials.
+
+    A frame cannot pass CRC without detection, an undetected trial
+    scores exactly BER 0.5 (the guessing convention), and every BER
+    lies in [0, 1]. One pass per chunk — negligible next to the trials
+    themselves.
+    """
+    if probe_mode() == "off" or not results:
+        return
+    bad = [
+        r
+        for r in results
+        if (r.frame_ok and not r.detected)
+        or (not r.detected and r.ber != 0.5)
+        or not (0.0 <= r.ber <= 1.0)
+    ]
+    probe_invariant(
+        "sim.trials.accounting",
+        not bad,
+        f"{len(bad)}/{len(results)} trials violate frame/BER accounting",
+        stage="demod",
+    )
 
 
 @dataclass
@@ -168,6 +194,7 @@ class TrialCampaign:
                     response=response,
                 )
             BATCHED_TRIALS_COUNTER.inc(len(results))
+            _probe_trial_accounting(results)
             return results
 
         # Per-trial fallback: custom receive chains (factories often
@@ -192,6 +219,7 @@ class TrialCampaign:
                         response=response,
                     )
                 )
+        _probe_trial_accounting(results)
         return results
 
     def run_point(self, scenario: Scenario, point_index: int = 0) -> BERPoint:

@@ -96,6 +96,109 @@ class TestObsReport:
             build_parser().parse_args(["obs"])
 
 
+class TestObsLedgerVerbs:
+    SWEEP = [
+        "sweep", "--start", "40", "--stop", "120",
+        "--points", "2", "--trials", "2", "--no-progress",
+    ]
+
+    def test_sweep_into_ledger_then_ls_diff_trace(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger")
+        events = tmp_path / "run.events.jsonl"
+
+        # Same configuration twice: one ledger entry, two runs.
+        assert main(self.SWEEP + ["--ledger", ledger,
+                                  "--events", str(events)]) == 0
+        assert main(self.SWEEP + ["--ledger", ledger]) == 0
+        # A different sweep: its own entry.
+        assert main([
+            "sweep", "--start", "60", "--stop", "200",
+            "--points", "2", "--trials", "2", "--no-progress",
+            "--ledger", ledger,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["obs", "ls", "--ledger", ledger]) == 0
+        listing = capsys.readouterr().out
+        assert "2 configuration(s)" in listing
+
+        # Diff the two distinct configurations by key prefix.
+        import re
+
+        keys = re.findall(r"^([0-9a-f]{12})\s", listing, flags=re.M)
+        assert len(keys) == 2
+        assert main([
+            "obs", "diff", keys[0], keys[1], "--ledger", ledger,
+        ]) == 1  # exit 1: the runs differ
+        diff_out = capsys.readouterr().out
+        assert "different configuration keys" in diff_out
+        assert "range_m" in diff_out
+
+        trace_path = tmp_path / "run.trace.json"
+        assert main([
+            "obs", "trace", keys[0], "--ledger", ledger,
+            "-o", str(trace_path),
+        ]) == 0
+        import json
+
+        from repro.obs.trace import validate_trace_events
+
+        doc = json.loads(trace_path.read_text())
+        assert validate_trace_events(doc) > 0
+
+    def test_diff_identical_runs_exits_zero(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger")
+        assert main(self.SWEEP + ["--ledger", ledger]) == 0
+        capsys.readouterr()
+        assert main(["obs", "ls", "--ledger", ledger]) == 0
+        listing = capsys.readouterr().out
+        import re
+
+        (key,) = re.findall(r"^([0-9a-f]{12})\s", listing, flags=re.M)
+        assert main(["obs", "diff", key, key, "--ledger", ledger]) == 0
+
+    def test_diff_accepts_manifest_files(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(self.SWEEP + ["--manifest", str(a)]) == 0
+        assert main(self.SWEEP + ["--manifest", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+
+    def test_trace_from_manifest_file(self, capsys, tmp_path):
+        manifest = tmp_path / "run.json"
+        events = tmp_path / "run.jsonl"
+        assert main(self.SWEEP + [
+            "--manifest", str(manifest), "--events", str(events),
+        ]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "out.trace.json"
+        assert main([
+            "obs", "trace", str(manifest), "-o", str(out_path),
+        ]) == 0
+        assert "trace events" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_timeline_reads_repo_bench_records(self, capsys):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        assert main(["obs", "timeline", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "BENCH_1" in out and "BENCH_3" in out
+        assert "optimized_serial" in out
+
+    def test_probes_flag_sets_mode_for_the_run(self, capsys):
+        from repro.obs.probes import probe_mode, set_probe_mode
+
+        before = probe_mode()
+        try:
+            assert main(self.SWEEP + ["--probes", "raise"]) == 0
+            assert probe_mode() == "raise"
+        finally:
+            set_probe_mode(before)
+
+
 class TestPattern:
     def test_table_shape(self, capsys):
         assert main(["pattern", "--elements", "4", "--step", "30"]) == 0

@@ -19,6 +19,7 @@ from repro.link.stats import LinkStats
 from repro.obs import (
     EventLog,
     MetricsRegistry,
+    RunManifest,
     SpanTracer,
     active_tracer,
     collect_spans,
@@ -340,6 +341,165 @@ class TestManifestRoundTrip:
         assert snapshot["fs"] > 0
 
 
+class TestEventLogDurability:
+    def test_every_emit_is_flushed_to_disk(self, tmp_path):
+        # A crash mid-run must not lose already-emitted lines: read the
+        # file while the log is still open, before any close().
+        log = EventLog(tmp_path / "live.jsonl")
+        try:
+            log.emit("first", n=1)
+            log.emit("second", n=2)
+            on_disk = read_events(tmp_path / "live.jsonl")
+            assert [e["event"] for e in on_disk] == ["first", "second"]
+        finally:
+            log.close()
+
+    def test_torn_final_line_is_dropped_by_default(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"ts": 1.0, "event": "ok"}\n{"ts": 2.0, "event": "tru'
+        )
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["ok"]
+
+    def test_strict_mode_raises_on_torn_line(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"ts": 1.0, "event": "ok"}\n{"broken')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path, strict=True)
+
+    def test_corruption_before_the_end_raises_even_when_lenient(
+        self, tmp_path
+    ):
+        # Only a torn *final* line is the crash signature; garbage in
+        # the middle means something worse happened and must surface.
+        path = tmp_path / "mid.jsonl"
+        path.write_text('{"broken\n{"ts": 2.0, "event": "ok"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_events(path)
+
+    def test_concurrent_emits_interleave_whole_lines(self, tmp_path):
+        import threading
+
+        path = tmp_path / "threads.jsonl"
+        with EventLog(path) as log:
+            def hammer(tag):
+                for i in range(100):
+                    log.emit("tick", tag=tag, i=i)
+
+            threads = [
+                threading.Thread(target=hammer, args=(t,)) for t in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        events = read_events(path, strict=True)
+        assert len(events) == 400
+        assert all(e["event"] == "tick" for e in events)
+
+
+class TestStageRowsEdgeCases:
+    def test_empty_timings_dict(self):
+        from repro.obs.report import stage_rows
+
+        assert stage_rows({}) == []
+
+    def test_multiple_root_spans_sum_into_the_share_base(self):
+        from repro.obs.report import stage_rows
+
+        # Two roots (e.g. a tracer reused across two campaigns): shares
+        # are fractions of the *combined* root total.
+        timings = {
+            "alpha": {"total_s": 3.0, "count": 1, "mean_ms": 3000.0},
+            "beta": {"total_s": 1.0, "count": 1, "mean_ms": 1000.0},
+            "alpha/work": {"total_s": 2.0, "count": 4, "mean_ms": 500.0},
+        }
+        rows = {r["stage"]: r for r in stage_rows(timings)}
+        assert rows["alpha"]["share"] == pytest.approx(3.0 / 4.0)
+        assert rows["work"]["share"] == pytest.approx(2.0 / 4.0)
+
+    def test_rootless_timings_fall_back_to_largest_stage(self):
+        from repro.obs.report import stage_rows
+
+        timings = {
+            "a/b": {"total_s": 4.0, "count": 2, "mean_ms": 2000.0},
+            "a/c": {"total_s": 1.0, "count": 1, "mean_ms": 1000.0},
+        }
+        rows = {r["stage"]: r for r in stage_rows(timings)}
+        assert rows["b"]["share"] == pytest.approx(1.0)
+        assert rows["c"]["share"] == pytest.approx(0.25)
+
+    def test_events_only_report(self):
+        # A manifest with no timings and no results still renders: the
+        # header plus whatever the event log contributes.
+        manifest = RunManifest(
+            label="bare", seed=1, version="1.0", created_unix=0.0,
+            elapsed_s=0.0, workers=1,
+        )
+        report = render_report(
+            manifest,
+            [{"ts": 1.0, "event": "point_end", "point": 0,
+              "elapsed_s": 0.5}],
+        )
+        assert "=== run: bare (seed 1) ===" in report
+        assert "--- per-stage breakdown ---" not in report
+        assert "--- per-point breakdown ---" not in report
+
+
+class TestBenchTimeline:
+    def make_doc(self, bench, serial, parallel=None):
+        doc = {
+            "bench": bench,
+            "name": "campaign-engine",
+            "optimized_serial": {"trials_per_sec": serial, "trials": 25,
+                                 "elapsed_s": 1.0},
+        }
+        if parallel is not None:
+            doc["optimized_parallel"] = {
+                "trials_per_sec": parallel, "trials": 25, "elapsed_s": 1.0,
+            }
+        return doc
+
+    def test_rows_pick_up_every_arm(self):
+        from repro.obs.report import bench_timeline_rows
+
+        rows = bench_timeline_rows(
+            [self.make_doc("BENCH_1", 100.0, 90.0)]
+        )
+        assert rows[0]["arms"] == {
+            "optimized_serial": 100.0, "optimized_parallel": 90.0,
+        }
+
+    def test_render_tracks_speedup_over_first_bench(self):
+        from repro.obs.report import render_timeline
+
+        table = render_timeline([
+            self.make_doc("BENCH_1", 100.0),
+            self.make_doc("BENCH_2", 250.0, 240.0),
+        ])
+        assert "BENCH_1" in table and "BENCH_2" in table
+        assert "2.50x" in table
+        assert "-" in table  # BENCH_1 has no parallel arm
+
+    def test_empty_is_not_an_error(self):
+        from repro.obs.report import render_timeline
+
+        assert "no benchmark records" in render_timeline([])
+
+    def test_load_bench_files_orders_numerically(self, tmp_path):
+        from repro.obs.report import load_bench_files
+
+        for n in (1, 2, 10):
+            (tmp_path / f"BENCH_{n}.json").write_text(
+                json.dumps(self.make_doc(f"BENCH_{n}", float(n)))
+            )
+        docs = load_bench_files(tmp_path)
+        assert [d["bench"] for d in docs] == [
+            "BENCH_1", "BENCH_2", "BENCH_10",
+        ]
+
+
 class TestBenchCompare:
     @staticmethod
     def record(serial_rate, parallel_rate=None, trials=25):
@@ -389,6 +549,38 @@ class TestBenchCompare:
         assert bench_compare.main(
             [str(ok_old), str(tmp_path / "missing.json")]
         ) == 2
+
+    def test_arms_narrows_the_gate(self):
+        # Only the serial arm is gated: a parallel collapse (noisy on
+        # small boxes) is reported but no longer fails the check.
+        bench_compare = load_tool("bench_compare")
+        old = self.record(100.0, parallel_rate=300.0)
+        new = self.record(99.0, parallel_rate=100.0)
+        rows, regressions = bench_compare.compare(
+            old, new, threshold=0.02, arms=("optimized_serial",)
+        )
+        assert regressions == []
+        by_arm = {r["arm"]: r for r in rows}
+        assert by_arm["optimized_serial"]["gated"]
+        assert not by_arm["optimized_parallel"]["gated"]
+
+    def test_main_arms_flag(self, tmp_path, capsys):
+        bench_compare = load_tool("bench_compare")
+        old = tmp_path / "BENCH_1.json"
+        new = tmp_path / "BENCH_2.json"
+        old.write_text(json.dumps(self.record(100.0, parallel_rate=300.0)))
+        new.write_text(json.dumps(self.record(100.0, parallel_rate=50.0)))
+        assert bench_compare.main(["--dir", str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert bench_compare.main(
+            ["--dir", str(tmp_path), "--arms", "optimized_serial"]
+        ) == 0
+        assert "(info)" in capsys.readouterr().out
+
+    def test_main_rejects_unknown_arm(self, tmp_path):
+        bench_compare = load_tool("bench_compare")
+        with pytest.raises(SystemExit):
+            bench_compare.main(["--dir", str(tmp_path), "--arms", "warp"])
 
     def test_fewer_than_two_records_is_not_an_error(self, tmp_path, capsys):
         bench_compare = load_tool("bench_compare")

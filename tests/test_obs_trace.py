@@ -1,0 +1,179 @@
+"""Tests for the Chrome trace-event exporter (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import read_events
+from repro.obs.trace import (
+    TRACE_PID_RUN,
+    TRACE_PID_SPANS,
+    chrome_trace,
+    trace_from_events,
+    trace_from_timings,
+    validate_trace_events,
+    write_trace,
+)
+from repro.sim.parallel import run_observed_campaign
+from repro.sim.scenario import Scenario
+from repro.sim.sweep import sweep_range
+from repro.sim.trials import TrialCampaign
+
+
+def sample_events():
+    return [
+        {"ts": 100.0, "event": "campaign_start", "label": "x", "points": 1,
+         "workers": 2, "seed": 3, "trials_per_point": 10},
+        {"ts": 100.20, "event": "chunk_done", "point": 0, "start": 0,
+         "trials": 5, "elapsed_s": 0.2},
+        {"ts": 100.25, "event": "heartbeat", "done": 5, "total": 10,
+         "trials_per_s": 25.0, "eta_s": 0.2},
+        {"ts": 100.30, "event": "chunk_done", "point": 0, "start": 5,
+         "trials": 5, "elapsed_s": 0.25},
+        {"ts": 100.40, "event": "point_end", "point": 0, "elapsed_s": 0.35,
+         "range_m": 50.0, "trials": 10, "ber": 0.0,
+         "frame_success_rate": 1.0, "detection_rate": 1.0},
+        {"ts": 100.60, "event": "campaign_end", "label": "x",
+         "elapsed_s": 0.6, "total_trials": 10},
+    ]
+
+
+def sample_timings():
+    return {
+        "campaign": {"total_s": 0.6, "count": 1, "mean_ms": 600.0},
+        "campaign/point": {"total_s": 0.5, "count": 1, "mean_ms": 500.0},
+        "campaign/point/batch": {"total_s": 0.4, "count": 1, "mean_ms": 400.0},
+    }
+
+
+class TestTraceFromEvents:
+    def test_campaign_and_point_become_complete_slices(self):
+        trace = trace_from_events(sample_events())
+        complete = {e["name"]: e for e in trace if e["ph"] == "X"}
+        assert "campaign x" in complete
+        assert complete["campaign x"]["dur"] == pytest.approx(0.6e6)
+        assert "point 0" in complete
+        assert complete["point 0"]["dur"] == pytest.approx(0.35e6)
+
+    def test_point_busy_time_exceeding_wall_is_clamped(self):
+        events = [
+            {"ts": 100.0, "event": "campaign_start", "label": "x"},
+            {"ts": 100.4, "event": "point_end", "point": 0,
+             "elapsed_s": 1.5},
+        ]
+        trace = trace_from_events(events)
+        point = next(e for e in trace if e["name"] == "point 0")
+        assert point["ts"] == 0.0
+        assert point["dur"] == pytest.approx(0.4e6)
+
+    def test_overlapping_chunks_pack_into_separate_lanes(self):
+        # chunks span [100.0, 100.2] and [100.05, 100.3]: they overlap,
+        # so a faithful timeline needs two worker lanes.
+        trace = trace_from_events(sample_events())
+        chunk_tids = {
+            e["tid"] for e in trace if e["name"].startswith("chunk")
+        }
+        assert len(chunk_tids) == 2
+        assert 0 not in chunk_tids  # chunks never share the campaign lane
+
+    def test_sequential_chunks_share_a_lane(self):
+        events = [
+            {"ts": 10.2, "event": "chunk_done", "point": 0, "start": 0,
+             "trials": 5, "elapsed_s": 0.2},
+            {"ts": 10.4, "event": "chunk_done", "point": 0, "start": 5,
+             "trials": 5, "elapsed_s": 0.2},
+        ]
+        trace = trace_from_events(events)
+        chunk_tids = {
+            e["tid"] for e in trace if e["name"].startswith("chunk")
+        }
+        assert len(chunk_tids) == 1
+
+    def test_heartbeats_become_counters(self):
+        trace = trace_from_events(sample_events())
+        counters = [e for e in trace if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {"trials done", "trials/s"}
+
+    def test_timestamps_are_relative_microseconds(self):
+        trace = trace_from_events(sample_events())
+        tss = [e["ts"] for e in trace if e["ph"] != "M"]
+        assert min(tss) == pytest.approx(0.0)
+        assert max(tss) <= 0.6e6 + 1.0
+
+    def test_unknown_events_become_instants(self):
+        trace = trace_from_events(
+            [{"ts": 1.0, "event": "surprising_thing", "x": 1}]
+        )
+        instants = [e for e in trace if e["ph"] == "i"]
+        assert instants and instants[0]["name"] == "surprising_thing"
+
+    def test_empty_events(self):
+        assert trace_from_events([]) == []
+
+
+class TestTraceFromTimings:
+    def test_children_nest_inside_parents(self):
+        trace = trace_from_timings(sample_timings())
+        spans = {e["args"]["path"]: e for e in trace if e["ph"] == "X"}
+        campaign = spans["campaign"]
+        point = spans["campaign/point"]
+        batch = spans["campaign/point/batch"]
+        assert point["ts"] >= campaign["ts"]
+        assert point["ts"] + point["dur"] <= campaign["ts"] + campaign["dur"]
+        assert batch["ts"] + batch["dur"] <= point["ts"] + point["dur"]
+
+    def test_span_pid_is_distinct_from_timeline_pid(self):
+        trace = trace_from_timings(sample_timings())
+        assert {e["pid"] for e in trace} == {TRACE_PID_SPANS}
+        assert TRACE_PID_SPANS != TRACE_PID_RUN
+
+
+class TestValidateTraceEvents:
+    def test_valid_document_passes(self):
+        doc = chrome_trace(events=sample_events(), timings=sample_timings())
+        count = validate_trace_events(doc)
+        assert count == len(doc["traceEvents"]) > 0
+
+    def test_bare_array_form_accepted(self):
+        assert validate_trace_events(trace_from_events(sample_events())) > 0
+
+    def test_rejects_non_trace_shapes(self):
+        with pytest.raises(ValueError):
+            validate_trace_events({"not": "a trace"})
+        with pytest.raises(ValueError):
+            validate_trace_events("nope")
+        with pytest.raises(ValueError):
+            validate_trace_events([{"name": "x"}])  # missing ph/pid/tid
+
+    def test_rejects_complete_event_without_duration(self):
+        with pytest.raises(ValueError):
+            validate_trace_events(
+                [{"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}]
+            )
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            validate_trace_events(
+                [{"name": "x", "ph": "X", "ts": 0, "dur": -1,
+                  "pid": 1, "tid": 1}]
+            )
+
+
+class TestEndToEnd:
+    def test_observed_run_exports_valid_trace(self, tmp_path):
+        scenarios = sweep_range(Scenario.river(), [50.0, 150.0])
+        campaign = TrialCampaign(trials_per_point=2, seed=5)
+        _, manifest = run_observed_campaign(
+            scenarios, campaign, label="trace-e2e", workers=2,
+            events_path=tmp_path / "run.events.jsonl", progress=False,
+        )
+        events = read_events(tmp_path / "run.events.jsonl")
+        doc = write_trace(
+            tmp_path / "run.trace.json", events=events,
+            timings=manifest.timings,
+        )
+        on_disk = json.loads((tmp_path / "run.trace.json").read_text())
+        assert validate_trace_events(on_disk) == len(doc["traceEvents"])
+        names = {e["name"] for e in on_disk["traceEvents"]}
+        assert "campaign trace-e2e" in names
+        assert any(n.startswith("chunk") for n in names)

@@ -55,6 +55,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 from repro.analysis import tree_fingerprint
 from repro.dsp import noisegen
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.probes import probe_mode
 from repro.phy.batch import BATCHED_ENGINE_VERSION
 from repro.sim import cache
 from repro.sim.engine import simulate_trial
@@ -241,6 +242,10 @@ def run_bench(
             "workers": workers,
             "seed": seed,
             "scenario": "river",
+            # Probe mode is part of the measurement conditions: the
+            # runtime invariant probes ride the hot path, so the perf
+            # trajectory records what they were set to.
+            "probes": probe_mode(),
         },
         "seed_baseline": baseline,
         "serial_fallback": fallback_arm,
