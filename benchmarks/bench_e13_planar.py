@@ -14,10 +14,10 @@ wirings of the same 2x2 grid.
 import numpy as np
 
 from repro.piezo.transducer import Transducer
+from repro.vanatta.fastfield import ArrayFactorEngine
 from repro.vanatta.planar import (
     PlanarVanAttaArray,
     grid_positions,
-    planar_monostatic_gain_db,
     point_mirror_pairs,
 )
 
@@ -49,14 +49,11 @@ def build_arrays():
 
 
 def run_orientation_grid():
+    # One batched engine call per wiring covers the whole (az, el) grid.
     grids = {}
     for name, arr in build_arrays().items():
-        grids[name] = np.array(
-            [
-                [planar_monostatic_gain_db(arr, F, az, el, C) for el in ANGLES]
-                for az in ANGLES
-            ]
-        )
+        engine = ArrayFactorEngine.from_planar(arr)
+        grids[name] = engine.planar_monostatic_grid_db(F, ANGLES, ANGLES, C)
     return grids
 
 

@@ -430,6 +430,7 @@ def run_observed_campaign(
     from repro.analysis.units.cache import ENGINE_VERSION as UNITS_ENGINE_VERSION
     from repro.phy.batch import BATCHED_ENGINE_VERSION
     from repro.sim.export import campaign_to_dict, save_manifest
+    from repro.vanatta.fastfield import FASTFIELD_ENGINE_VERSION
 
     if campaign is None:
         campaign = TrialCampaign()
@@ -490,6 +491,7 @@ def run_observed_campaign(
         engine_versions={
             "phy.batch": BATCHED_ENGINE_VERSION,
             "analysis.units": UNITS_ENGINE_VERSION,
+            "vanatta.fastfield": FASTFIELD_ENGINE_VERSION,
         },
     )
     if manifest_path is not None:

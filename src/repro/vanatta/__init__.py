@@ -19,10 +19,34 @@ Modules:
   by the end-to-end waveform simulator.
 * :mod:`repro.vanatta.node` — the complete battery-free node.
 * :mod:`repro.vanatta.scaling` — aperture-scaling design rules.
+* :mod:`repro.vanatta.fastfield` — batched array-factor engine: the
+  scalar response functions delegate to it at batch size 1, and it
+  evaluates thousands of elements times hundreds of angles/frequencies
+  in one broadcasted tensor op (plus a chirp-Z dense-grid path).
+* :mod:`repro.vanatta.ris` — programmable (RIS-style) phase surfaces
+  on the same kernel: steering/retro codebooks, quantized shifters,
+  multi-reader spatial multiplexing (DoF, sum capacity).
 """
 
 from repro.vanatta.array import VanAttaArray, linear_positions
+from repro.vanatta.fastfield import (
+    FASTFIELD_ENGINE_VERSION,
+    ArrayFactorEngine,
+    ensemble_monostatic_db,
+    reference_planar_response,
+    reference_response,
+)
 from repro.vanatta.polarity import PairingScheme, pair_phase_errors
+from repro.vanatta.ris import (
+    PhaseSurface,
+    quantization_loss_db,
+    quantize_phases_rad,
+    reader_steering_matrix,
+    retro_phases_rad,
+    spatial_dof,
+    steering_phases_rad,
+    sum_capacity_bits,
+)
 from repro.vanatta.retrodirective import (
     monostatic_gain,
     monostatic_gain_db,
@@ -44,6 +68,7 @@ from repro.vanatta.scaling import (
     aperture_m,
     peak_gain_db,
     recommended_spacing,
+    simulated_gain_curve_db,
 )
 from repro.vanatta.tolerance import (
     ToleranceResult,
@@ -63,6 +88,20 @@ __all__ = [
     "linear_positions",
     "PairingScheme",
     "pair_phase_errors",
+    "ArrayFactorEngine",
+    "FASTFIELD_ENGINE_VERSION",
+    "ensemble_monostatic_db",
+    "reference_response",
+    "reference_planar_response",
+    "PhaseSurface",
+    "steering_phases_rad",
+    "retro_phases_rad",
+    "quantize_phases_rad",
+    "quantization_loss_db",
+    "reader_steering_matrix",
+    "spatial_dof",
+    "sum_capacity_bits",
+    "simulated_gain_curve_db",
     "response",
     "pattern",
     "monostatic_gain",

@@ -10,10 +10,11 @@ through a matched line to itself, which is still phase-correct).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.units.vocab import HZ, METERS, MPS
 from repro.piezo.transducer import Transducer
 from repro.vanatta.polarity import PairingScheme, pair_phase_errors
 
@@ -84,10 +85,10 @@ class VanAttaArray:
     @staticmethod
     def uniform(
         num_elements: int = 4,
-        spacing_m: float = None,
-        frequency_hz: float = 18_500.0,
-        sound_speed: float = 1500.0,
-        element: Transducer = None,
+        spacing_m: Optional[METERS] = None,
+        frequency_hz: HZ = 18_500.0,
+        sound_speed: MPS = 1500.0,
+        element: Optional[Transducer] = None,
         pairing: PairingScheme = PairingScheme.CROSS_POLARITY,
     ) -> "VanAttaArray":
         """A half-wavelength uniform linear Van Atta array.

@@ -18,12 +18,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.units.vocab import DB, DEG, HZ, METERS, MPS
 from repro.piezo.transducer import Transducer
-from repro.vanatta.polarity import PairingScheme, pair_phase_errors
+from repro.vanatta.polarity import PairingScheme
 
 
 def grid_positions(
@@ -43,28 +44,46 @@ def grid_positions(
 def point_mirror_pairs(positions: np.ndarray, tol: float = 1e-9) -> List[Tuple[int, int]]:
     """Pair every element with its point reflection through the origin.
 
+    Matching is O(N): coordinates are quantized to the tolerance and
+    looked up in a hash of rounded keys (each lookup also probes the
+    neighbouring quantization cells, so points straddling a rounding
+    boundary still meet their mirrors). The previous all-pairs scan was
+    O(N^2) and dominated construction beyond ~1k elements.
+
     Raises:
         ValueError: if some element has no mirror partner in the layout.
     """
-    n = len(positions)
-    used = set()
+    if tol <= 0:
+        raise ValueError("tolerance must be positive")
+    coords = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+    if coords.shape[0] == 1 and np.ndim(positions) == 1:
+        coords = coords.T
+    n = len(coords)
+    quantized = np.round(coords / tol).astype(np.int64)
+    buckets: Dict[Tuple[int, ...], List[int]] = {}
+    for i in range(n):
+        buckets.setdefault(tuple(quantized[i]), []).append(i)
+
+    dims = coords.shape[1]
+    offsets = np.indices((3,) * dims).reshape(dims, -1).T - 1
+    used = [False] * n
     pairs: List[Tuple[int, int]] = []
     for i in range(n):
-        if i in used:
+        if used[i]:
             continue
-        target = -positions[i]
+        key = np.round(-coords[i] / tol).astype(np.int64)
         match = None
-        for j in range(i, n):
-            if j in used and j != i:
-                continue
-            if np.allclose(positions[j], target, atol=tol):
-                match = j
-                break
+        for off in offsets:
+            for j in buckets.get(tuple(key + off), ()):
+                if (j == i or not used[j]) and np.allclose(
+                    coords[j], -coords[i], atol=tol
+                ):
+                    match = j if match is None else min(match, j)
         if match is None:
             raise ValueError(f"element {i} has no point-mirror partner")
         pairs.append((i, match))
-        used.add(i)
-        used.add(match)
+        used[i] = True
+        used[match] = True
     return pairs
 
 
@@ -103,10 +122,10 @@ class PlanarVanAttaArray:
     def uniform(
         num_u: int = 2,
         num_w: int = 2,
-        spacing_m: float = None,
-        frequency_hz: float = 18_500.0,
-        sound_speed: float = 1500.0,
-        element: Transducer = None,
+        spacing_m: Optional[METERS] = None,
+        frequency_hz: HZ = 18_500.0,
+        sound_speed: MPS = 1500.0,
+        element: Optional[Transducer] = None,
         pairing: PairingScheme = PairingScheme.CROSS_POLARITY,
     ) -> "PlanarVanAttaArray":
         """A half-wavelength grid with point-mirror pairing."""
@@ -146,48 +165,38 @@ def direction_cosines(azimuth_deg: float, elevation_deg: float) -> np.ndarray:
 
 def planar_response(
     array: PlanarVanAttaArray,
-    frequency_hz: float,
-    az_in_deg: float,
-    el_in_deg: float,
-    az_out_deg: float,
-    el_out_deg: float,
-    sound_speed: float = 1500.0,
+    frequency_hz: HZ,
+    az_in_deg: DEG,
+    el_in_deg: DEG,
+    az_out_deg: DEG,
+    el_out_deg: DEG,
+    sound_speed: MPS = 1500.0,
 ) -> complex:
-    """Bistatic complex response of the planar array (per ideal element)."""
-    if frequency_hz <= 0 or sound_speed <= 0:
-        raise ValueError("frequency and sound speed must be positive")
-    k = 2.0 * math.pi * frequency_hz / sound_speed
-    d_in = direction_cosines(az_in_deg, el_in_deg)
-    d_out = direction_cosines(az_out_deg, el_out_deg)
-    x = array.positions_m
-    phases = pair_phase_errors(len(array.pairs), array.pairing)
-    line = array.line_gain()
+    """Bistatic complex response of the planar array (per ideal element).
 
-    # Element pattern: treat the total off-broadside angle per leg.
-    def off_angle(az, el):
-        c = math.cos(math.radians(az)) * math.cos(math.radians(el))
-        return math.degrees(math.acos(max(-1.0, min(1.0, c))))
+    Delegates to the batched array-factor kernel
+    (:mod:`repro.vanatta.fastfield`) at batch size 1; the original
+    per-pair loop survives as
+    :func:`repro.vanatta.fastfield.reference_planar_response` and the
+    parity tests hold the two to ``<= 1e-9``.
+    """
+    from repro.vanatta.fastfield import ArrayFactorEngine
 
-    g_in = array.element.element_gain(off_angle(az_in_deg, el_in_deg))
-    g_out = array.element.element_gain(off_angle(az_out_deg, el_out_deg))
-
-    total = 0.0 + 0.0j
-    for (a, b), extra in zip(array.pairs, phases):
-        rot = complex(math.cos(extra), math.sin(extra))
-        if a == b:
-            total += rot * np.exp(1j * k * (x[a] @ d_in + x[a] @ d_out))
-        else:
-            total += rot * np.exp(1j * k * (x[a] @ d_in + x[b] @ d_out))
-            total += rot * np.exp(1j * k * (x[b] @ d_in + x[a] @ d_out))
-    return complex(total * line * g_in * g_out)
+    engine = ArrayFactorEngine.from_planar(array)
+    return complex(
+        engine.planar_response_batch(
+            frequency_hz, az_in_deg, el_in_deg, az_out_deg, el_out_deg,
+            sound_speed,
+        )
+    )
 
 
 def planar_monostatic_gain(
     array: PlanarVanAttaArray,
-    frequency_hz: float,
-    azimuth_deg: float,
-    elevation_deg: float,
-    sound_speed: float = 1500.0,
+    frequency_hz: HZ,
+    azimuth_deg: DEG,
+    elevation_deg: DEG,
+    sound_speed: MPS = 1500.0,
 ) -> complex:
     """Response back toward the source from an (az, el) direction."""
     return planar_response(
@@ -203,11 +212,11 @@ def planar_monostatic_gain(
 
 def planar_monostatic_gain_db(
     array: PlanarVanAttaArray,
-    frequency_hz: float,
-    azimuth_deg: float,
-    elevation_deg: float,
-    sound_speed: float = 1500.0,
-) -> float:
+    frequency_hz: HZ,
+    azimuth_deg: DEG,
+    elevation_deg: DEG,
+    sound_speed: MPS = 1500.0,
+) -> DB:
     """Monostatic field gain in dB re one ideal element."""
     mag = abs(
         planar_monostatic_gain(

@@ -26,12 +26,7 @@ import numpy as np
 
 from repro.analysis.units.vocab import DB, DEG, HZ, MPS
 from repro.vanatta.array import VanAttaArray
-
-
-def _wavenumber(frequency_hz: HZ, sound_speed: MPS) -> float:
-    if frequency_hz <= 0 or sound_speed <= 0:
-        raise ValueError("frequency and sound speed must be positive")
-    return 2.0 * math.pi * frequency_hz / sound_speed
+from repro.vanatta.fastfield import ArrayFactorEngine
 
 
 def response(
@@ -43,6 +38,12 @@ def response(
 ) -> complex:
     """Bistatic complex response (normalised to one ideal element).
 
+    Delegates to the batched array-factor kernel
+    (:mod:`repro.vanatta.fastfield`) at batch size 1, so the scalar and
+    batched paths share one implementation; the original per-pair loop
+    survives as :func:`repro.vanatta.fastfield.reference_response` and
+    the parity tests hold the two to ``<= 1e-9``.
+
     Args:
         array: the Van Atta array.
         frequency_hz: operating frequency.
@@ -53,24 +54,12 @@ def response(
     Returns:
         Complex field amplitude toward ``theta_out``.
     """
-    k = _wavenumber(frequency_hz, sound_speed)
-    u_in = math.sin(math.radians(theta_in_deg))
-    u_out = math.sin(math.radians(theta_out_deg))
-    x = array.positions_m
-    phases = array.pair_phases()
-    line = array.line_gain()
-    g_in = array.element.element_gain(theta_in_deg)
-    g_out = array.element.element_gain(theta_out_deg)
-
-    total = 0.0 + 0.0j
-    for (a, b), extra in zip(array.pairs, phases):
-        rot = complex(math.cos(extra), math.sin(extra))
-        if a == b:
-            total += rot * np.exp(1j * k * (x[a] * u_in + x[a] * u_out))
-        else:
-            total += rot * np.exp(1j * k * (x[a] * u_in + x[b] * u_out))
-            total += rot * np.exp(1j * k * (x[b] * u_in + x[a] * u_out))
-    return complex(total * line * g_in * g_out)
+    engine = ArrayFactorEngine.from_linear(array)
+    return complex(
+        engine.response_batch(
+            frequency_hz, theta_in_deg, theta_out_deg, sound_speed
+        )
+    )
 
 
 def monostatic_gain(
@@ -101,12 +90,16 @@ def pattern(
     thetas_out_deg: Sequence[float],
     sound_speed: MPS = 1500.0,
 ) -> np.ndarray:
-    """Bistatic pattern: complex response at each observation angle."""
-    return np.array(
-        [
-            response(array, frequency_hz, theta_in_deg, float(t), sound_speed)
-            for t in thetas_out_deg
-        ]
+    """Bistatic pattern: complex response at each observation angle.
+
+    One batched kernel call — the per-angle loop is gone.
+    """
+    engine = ArrayFactorEngine.from_linear(array)
+    return engine.response_batch(
+        frequency_hz,
+        theta_in_deg,
+        np.asarray(thetas_out_deg, dtype=np.float64),
+        sound_speed,
     )
 
 
@@ -116,10 +109,11 @@ def monostatic_pattern_db(
     thetas_deg: Sequence[float],
     sound_speed: MPS = 1500.0,
 ) -> np.ndarray:
-    """Monostatic gain (dB) across incidence angles — the E1 curve."""
-    return np.array(
-        [
-            monostatic_gain_db(array, frequency_hz, float(t), sound_speed)
-            for t in thetas_deg
-        ]
+    """Monostatic gain (dB) across incidence angles — the E1 curve.
+
+    One batched kernel call — the per-angle loop is gone.
+    """
+    engine = ArrayFactorEngine.from_linear(array)
+    return engine.monostatic_pattern_db(
+        frequency_hz, np.asarray(thetas_deg, dtype=np.float64), sound_speed
     )

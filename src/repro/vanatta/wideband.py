@@ -22,14 +22,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.piezo.bvd import BVDModel
 from repro.piezo.matching import modulation_depth_for
 from repro.vanatta.array import VanAttaArray
-from repro.vanatta.retrodirective import monostatic_gain
+from repro.vanatta.fastfield import ArrayFactorEngine
 
 
 @dataclass(frozen=True)
@@ -67,7 +67,7 @@ def system_response(
     array: VanAttaArray,
     bvd: BVDModel,
     frequencies_hz: Sequence[float],
-    design_frequency_hz: float = None,
+    design_frequency_hz: Optional[float] = None,
     theta_deg: float = 0.0,
     sound_speed: float = 1500.0,
 ) -> SystemResponse:
@@ -93,7 +93,6 @@ def system_response(
 
     element = np.empty(len(freqs))
     depth = np.empty(len(freqs))
-    arr_gain = np.empty(len(freqs))
     for i, f in enumerate(freqs):
         # Two-way conversion: receive + re-transmit both ride the
         # motional-branch shape.
@@ -101,8 +100,11 @@ def system_response(
         element[i] = 40.0 * math.log10(max(shape, 1e-12))
         d = modulation_depth_for(bvd, f, z_off=z_off_design)
         depth[i] = 20.0 * math.log10(max(min(d, 1.0), 1e-12))
-        g = abs(monostatic_gain(array, f, theta_deg, sound_speed))
-        arr_gain[i] = 20.0 * math.log10(max(g, 1e-12))
+    # The array term sweeps the whole frequency grid in one batched
+    # array-factor call (the geometry is fixed; only k changes).
+    engine = ArrayFactorEngine.from_linear(array)
+    mags = np.abs(engine.monostatic_batch(freqs, theta_deg, sound_speed))
+    arr_gain_db = 20.0 * np.log10(np.maximum(mags, 1e-12))
 
     depth_at_f0_db = 20.0 * math.log10(
         max(modulation_depth_for(bvd, f0, z_off=z_off_design), 1e-12)
@@ -113,14 +115,14 @@ def system_response(
         frequencies_hz=freqs,
         element_db=element - element.max(),
         depth_db=depth - depth_at_f0_db,
-        array_db=arr_gain,
+        array_db=arr_gain_db,
         total_db=total,
     )
 
 
 def usable_bandwidth_hz(
     bvd: BVDModel,
-    array: VanAttaArray = None,
+    array: Optional[VanAttaArray] = None,
     drop_db: float = 3.0,
     sound_speed: float = 1500.0,
 ) -> float:

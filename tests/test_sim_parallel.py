@@ -260,12 +260,14 @@ class TestBenchSmoke:
     def test_tiny_campaign_runs_and_reports_timings(self):
         bench = self.load_bench()
         record = bench.run_bench(
-            trials_per_point=2, ranges_m=[50.0], workers=2, seed=2023
+            trials_per_point=2, ranges_m=[50.0], workers=2, seed=2023,
+            arrayfactor_elements=16, arrayfactor_angles=9,
         )
         assert record["bench"] == "BENCH_1"
         assert record["parallel_bit_identical"] is True
         assert record["batched_bit_identical"] is True
         assert record["batched_engine_version"] >= 1
+        assert record["fastfield_engine_version"] >= 1
         for arm in (
             "seed_baseline",
             "serial_fallback",
@@ -275,10 +277,16 @@ class TestBenchSmoke:
             assert record[arm]["trials"] == 2
             assert record[arm]["trials_per_sec"] > 0
         assert record["optimized_parallel"]["workers"] == 2
+        assert record["arrayfactor_parity"] is True
+        for arm in ("arrayfactor", "arrayfactor_loop"):
+            assert record[arm]["elements"] == 16
+            assert record[arm]["angles"] == 9
+            assert record[arm]["trials_per_sec"] > 0
         assert set(record["speedup"]) == {
             "serial_over_baseline",
             "parallel_over_baseline",
             "batched_over_fallback",
+            "arrayfactor_over_loop",
         }
         for stage in ("batch", "channel", "reflect", "noise", "demod"):
             assert record["stage_timings"][stage]["count"] >= 1

@@ -34,12 +34,14 @@ from typing import List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-GATED_ARMS = ("optimized_serial", "optimized_parallel")
+GATED_ARMS = ("optimized_serial", "optimized_parallel", "arrayfactor")
 """Arms whose regressions fail the check. ``seed_baseline`` is an
-emulation of historical code and ``serial_fallback`` is the pinned
-per-trial path kept for exotic receiver configs — informational only."""
+emulation of historical code, ``serial_fallback`` is the pinned
+per-trial path kept for exotic receiver configs, and
+``arrayfactor_loop`` is the per-pair reference loop the batched
+array-factor kernel is scored against — informational only."""
 
-INFO_ARMS = ("seed_baseline", "serial_fallback")
+INFO_ARMS = ("seed_baseline", "serial_fallback", "arrayfactor_loop")
 
 
 def bench_paths(root: Path) -> List[Path]:

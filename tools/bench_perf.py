@@ -16,6 +16,12 @@ Measures trials/sec of four execution arms on the same seeded campaign
 * ``optimized_parallel`` — the batched engine sharded by point over a
   ``ProcessPoolExecutor``.
 
+A fifth pair of arms benchmarks the Van Atta array-factor kernel
+(``arrayfactor`` vs the ``arrayfactor_loop`` per-pair reference; see
+:func:`run_arrayfactor_bench`): a monostatic pattern sweep of a
+1024-element array over 181 angles, with a >=50x speedup floor and a
+batched-vs-loop parity check enforced on full runs.
+
 Also records per-stage wall-clock (channel / reflect / noise / demod)
 via :mod:`repro.sim.profiling`, the run's metrics-registry snapshot
 (cache hits/misses, receiver failures, batch sizes — see
@@ -57,6 +63,12 @@ from repro.dsp import noisegen
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.probes import probe_mode
 from repro.phy.batch import BATCHED_ENGINE_VERSION
+from repro.vanatta.array import VanAttaArray
+from repro.vanatta.fastfield import (
+    FASTFIELD_ENGINE_VERSION,
+    ArrayFactorEngine,
+    reference_response,
+)
 from repro.sim import cache
 from repro.sim.engine import simulate_trial
 from repro.sim.parallel import run_campaign_parallel
@@ -163,14 +175,78 @@ def _arm(elapsed_s: float, trials: int) -> dict:
     }
 
 
+ARRAYFACTOR_ELEMENTS = 1024
+ARRAYFACTOR_ANGLES = 181
+ARRAYFACTOR_FREQUENCY_HZ = 18_500.0
+ARRAYFACTOR_MIN_SPEEDUP = 50.0
+"""Floor on batched-over-loop array-factor speedup at the full
+benchmark size (the E21 perf gate); `main` exits non-zero below it."""
+
+
+def run_arrayfactor_bench(
+    num_elements: int = ARRAYFACTOR_ELEMENTS,
+    num_angles: int = ARRAYFACTOR_ANGLES,
+    repeats: int = 5,
+) -> dict:
+    """The array-factor arm: per-pair loop vs the batched kernel.
+
+    Scores a monostatic pattern sweep (``num_angles`` angles) of a
+    ``num_elements``-element Van Atta on both paths. One "trial" is
+    one complex field-point evaluation, so ``trials_per_sec`` is
+    directly comparable across record generations, and the batched arm
+    is averaged over ``repeats`` sweeps (it is far too fast to time
+    once). Includes a batched-vs-loop parity verdict (<= 1e-9 per
+    element) mirroring the campaign arms' bit-identity checks.
+    """
+    array = VanAttaArray.uniform(
+        num_elements, frequency_hz=ARRAYFACTOR_FREQUENCY_HZ, sound_speed=1500.0
+    )
+    thetas = np.linspace(-60.0, 60.0, num_angles)
+    engine = ArrayFactorEngine.from_linear(array)
+    engine.monostatic_batch(ARRAYFACTOR_FREQUENCY_HZ, thetas)  # warm
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        batched = engine.monostatic_batch(ARRAYFACTOR_FREQUENCY_HZ, thetas)
+    batched_arm = _arm(time.perf_counter() - t0, num_angles * repeats)
+
+    t0 = time.perf_counter()
+    looped = np.array(
+        [
+            reference_response(
+                array, ARRAYFACTOR_FREQUENCY_HZ, float(t), float(t), 1500.0
+            )
+            for t in thetas
+        ]
+    )
+    loop_arm = _arm(time.perf_counter() - t0, num_angles)
+
+    for arm in (batched_arm, loop_arm):
+        arm["elements"] = num_elements
+        arm["angles"] = num_angles
+    batched_rate = batched_arm["trials_per_sec"] or 0.0
+    loop_rate = loop_arm["trials_per_sec"] or 1e-9
+    parity = bool(
+        np.abs(batched - looped).max() <= 1e-9 * max(num_elements, 1)
+    )
+    return {
+        "arrayfactor": batched_arm,
+        "arrayfactor_loop": loop_arm,
+        "arrayfactor_speedup": round(batched_rate / loop_rate, 2),
+        "arrayfactor_parity": parity,
+    }
+
+
 def run_bench(
     trials_per_point: int = 25,
     ranges_m: Optional[List[float]] = None,
     workers: int = 4,
     seed: int = 2023,
     bench_name: str = "BENCH_1",
+    arrayfactor_elements: int = ARRAYFACTOR_ELEMENTS,
+    arrayfactor_angles: int = ARRAYFACTOR_ANGLES,
 ) -> dict:
-    """Run all three arms and return the BENCH record (JSON-ready)."""
+    """Run all campaign arms plus the array-factor arm; return the record."""
     if ranges_m is None:
         ranges_m = list(DEFAULT_RANGES_M)
     scenarios = sweep_range(Scenario.river(), ranges_m)
@@ -225,6 +301,10 @@ def run_bench(
         parallel_arm = _arm(time.perf_counter() - t0, parallel.total_trials)
     parallel_arm["workers"] = workers
 
+    arrayfactor = run_arrayfactor_bench(
+        num_elements=arrayfactor_elements, num_angles=arrayfactor_angles
+    )
+
     identical = serial.points == parallel.points
     batched_identical = serial.points == fallback.points
     base_rate = baseline["trials_per_sec"] or 1e-9
@@ -235,6 +315,7 @@ def run_bench(
         "bench": bench_name,
         "name": "monte-carlo-campaign-engine",
         "batched_engine_version": BATCHED_ENGINE_VERSION,
+        "fastfield_engine_version": FASTFIELD_ENGINE_VERSION,
         "config": {
             "trials_per_point": trials_per_point,
             "points": len(ranges_m),
@@ -251,7 +332,11 @@ def run_bench(
         "serial_fallback": fallback_arm,
         "optimized_serial": serial_arm,
         "optimized_parallel": parallel_arm,
+        "arrayfactor": arrayfactor["arrayfactor"],
+        "arrayfactor_loop": arrayfactor["arrayfactor_loop"],
+        "arrayfactor_parity": arrayfactor["arrayfactor_parity"],
         "speedup": {
+            "arrayfactor_over_loop": arrayfactor["arrayfactor_speedup"],
             "serial_over_baseline": round(
                 (serial_arm["trials_per_sec"] or 0.0) / base_rate, 2
             ),
@@ -317,7 +402,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.smoke:
         record = run_bench(trials_per_point=3, ranges_m=[50.0, 330.0],
-                           workers=2, seed=args.seed, bench_name="BENCH_smoke")
+                           workers=2, seed=args.seed, bench_name="BENCH_smoke",
+                           arrayfactor_elements=128, arrayfactor_angles=37)
     else:
         ranges = list(np.interp(
             np.linspace(0, len(DEFAULT_RANGES_M) - 1, args.points),
@@ -339,6 +425,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not record["batched_bit_identical"]:
         print(
             "ERROR: batched campaign diverged from the per-trial fallback",
+            file=sys.stderr,
+        )
+        return 1
+    if not record["arrayfactor_parity"]:
+        print(
+            "ERROR: batched array factor diverged from the per-pair loop",
+            file=sys.stderr,
+        )
+        return 1
+    if (not args.smoke
+            and record["speedup"]["arrayfactor_over_loop"]
+            < ARRAYFACTOR_MIN_SPEEDUP):
+        print(
+            "ERROR: array-factor speedup "
+            f"{record['speedup']['arrayfactor_over_loop']:.1f}x below the "
+            f"{ARRAYFACTOR_MIN_SPEEDUP:.0f}x floor",
             file=sys.stderr,
         )
         return 1
