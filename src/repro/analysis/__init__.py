@@ -6,10 +6,13 @@ rest on conventions — an explicit ``rng`` threaded everywhere, unit
 suffixes on names — that documentation alone cannot hold. This package
 machine-checks them with a stdlib-``ast`` lint framework plus five
 per-file rules (``VAB001``..``VAB005``; see
-:mod:`repro.analysis.rules`) and a flow-sensitive, interprocedural
+:mod:`repro.analysis.rules`), a flow-sensitive, interprocedural
 dimensional-analysis engine (``VAB006``..``VAB010``; see
 :mod:`repro.analysis.units`) that tracks units through assignments,
-arithmetic, and call boundaries.
+arithmetic, and call boundaries, and a shape/dtype dataflow engine
+(``VAB011``..``VAB016``; see :mod:`repro.analysis.shapes`) that tracks
+symbolic ndarray shapes, dtypes, and determinism taints through the
+batched kernels.
 
 Run it via ``python tools/vablint.py src/repro``, the ``repro lint``
 CLI subcommand, or the API::

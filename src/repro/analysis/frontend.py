@@ -8,6 +8,7 @@ render — lives here once so the two entry points cannot drift.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, TextIO
@@ -17,6 +18,7 @@ from repro.analysis.linter import (
     EXIT_CLEAN,
     EXIT_ERROR,
     LintReport,
+    discover_files,
     lint_paths,
 )
 from repro.analysis.reporters import render_json, render_text
@@ -48,9 +50,14 @@ def add_lint_flags(parser: argparse.ArgumentParser) -> None:
                              "tests/lint_fixtures/** exclude)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the per-file rules")
+    parser.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                        metavar="REF",
+                        help="lint only files changed relative to the given "
+                             "git ref (default HEAD) plus untracked files")
     parser.add_argument("--units", action="store_true",
-                        help="run the interprocedural dimensional-analysis "
-                             "engine (rules VAB006..VAB010)")
+                        help="run the interprocedural dataflow engines: "
+                             "dimensional analysis (VAB006..VAB010) and "
+                             "shape/dtype analysis (VAB011..VAB016)")
     parser.add_argument("--units-cache", default=".vablint_units_cache.json",
                         metavar="PATH", dest="units_cache",
                         help="cache file for incremental --units runs")
@@ -71,12 +78,44 @@ def add_lint_flags(parser: argparse.ArgumentParser) -> None:
                              "and exit (0 clean / 1 dirty)")
 
 
+def changed_files(ref: str, cwd: Optional[Path] = None) -> List[Path]:
+    """Files changed relative to ``ref`` plus untracked files.
+
+    Asks git for the union of ``diff --name-only REF`` and the
+    untracked-but-not-ignored set, resolved against the repository
+    top level so the result is independent of the working directory.
+
+    Raises:
+        RuntimeError: when git is unavailable, the directory is not a
+            repository, or ``ref`` does not resolve.
+    """
+    base = Path(cwd) if cwd is not None else Path.cwd()
+
+    def _git(*argv: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], cwd=base, capture_output=True, text=True
+            )
+        except OSError as exc:
+            raise RuntimeError(f"git unavailable: {exc}") from exc
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"git {' '.join(argv)} failed"
+            raise RuntimeError(detail)
+        return proc.stdout
+
+    top = Path(_git("rev-parse", "--show-toplevel").strip())
+    names = set(_git("diff", "--name-only", ref, "--").splitlines())
+    names |= set(_git("ls-files", "--others", "--exclude-standard").splitlines())
+    return sorted(top / name for name in names if name)
+
+
 def run_lint(
     paths: Sequence[str],
     select: Optional[List[str]] = None,
     disable: Optional[List[str]] = None,
     exclude: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    changed: Optional[str] = None,
     units: bool = False,
     units_cache: Optional[str] = None,
     baseline: Optional[str] = None,
@@ -93,7 +132,10 @@ def run_lint(
             (the lint-fixture tree is always skipped unless the file is
             named explicitly).
         jobs: worker processes for the per-file rules.
-        units: run the dimensional-analysis engine (VAB006..VAB010).
+        changed: git ref — restrict the lint to discovered files that
+            differ from this ref (or are untracked). A git failure is
+            an :data:`EXIT_ERROR`, not a silent full run.
+        units: run the dataflow engines (VAB006..VAB016).
         units_cache: cache file for incremental units runs (implies
             nothing when ``units`` is off).
         baseline: differential mode — only findings *not* covered by
@@ -105,9 +147,24 @@ def run_lint(
     """
     stream = out if out is not None else sys.stdout
     patterns = list(DEFAULT_EXCLUDES) + [p for p in (exclude or []) if p]
+    lint_targets: Sequence[str] = paths
+    if changed is not None:
+        try:
+            touched = {p.resolve() for p in changed_files(changed)}
+        except RuntimeError as exc:
+            print(f"vablint: --changed: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        try:
+            discovered = discover_files(paths, exclude=patterns)
+        except FileNotFoundError as exc:
+            print(f"vablint: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+        lint_targets = [
+            p.as_posix() for p in discovered if p.resolve() in touched
+        ]
     try:
         report: LintReport = lint_paths(
-            paths,
+            lint_targets,
             select=select,
             disable=disable,
             exclude=patterns,

@@ -1,0 +1,250 @@
+"""Shared incremental driver for the interprocedural analysis engines.
+
+Both dataflow engines — units (:mod:`repro.analysis.units`) and shapes
+(:mod:`repro.analysis.shapes`) — have the same incremental structure:
+per-file results keyed on the sha256 of the file's bytes plus an engine
+version, function summaries as the interprocedural currency, and
+call-graph dependent invalidation via each file's cached reference set.
+This module holds that machinery once; the engines plug in their
+extract/seed/fixed-point callables and summary codecs.
+
+A warm run:
+
+1. hashes every file (cheap),
+2. marks changed files dirty,
+3. expands the dirty set with the **call-graph dependents** of every
+   dirty file (transitively, via the cached reference sets — a caller's
+   call-site checks depend on its callees' summaries),
+4. re-parses and re-analyzes only the dirty set, against the cached
+   summaries of everything else,
+5. reuses cached findings verbatim for untouched files.
+
+Findings are stored suppression-filtered, so cache hits and cold runs
+produce byte-identical reports — the determinism tests lock this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.analysis.findings import PARSE_ERROR_RULE, Finding
+from repro.analysis.suppressions import SuppressionIndex
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Everything remembered about one analyzed file."""
+
+    sha: str
+    findings: List[Dict[str, object]] = field(default_factory=list)
+    summaries: List[Dict[str, object]] = field(default_factory=list)
+    refs: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sha": self.sha,
+            "findings": self.findings,
+            "summaries": self.summaries,
+            "refs": self.refs,
+        }
+
+    @staticmethod
+    def from_dict(raw: Dict[str, object]) -> "CacheEntry":
+        return CacheEntry(
+            sha=str(raw["sha"]),
+            findings=list(raw.get("findings", [])),  # type: ignore[arg-type]
+            summaries=list(raw.get("summaries", [])),  # type: ignore[arg-type]
+            refs=list(raw.get("refs", [])),  # type: ignore[arg-type]
+        )
+
+
+class AnalysisCache:
+    """On-disk store of per-file analysis results for one engine."""
+
+    def __init__(self, entries: Optional[Dict[str, CacheEntry]] = None) -> None:
+        self.entries: Dict[str, CacheEntry] = entries or {}
+
+    @classmethod
+    def load(cls, path: Optional[Path], engine_version: str) -> "AnalysisCache":
+        """Read a cache file; any mismatch or damage yields an empty cache."""
+        if path is None or not Path(path).is_file():
+            return cls()
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls()
+        if raw.get("engine") != engine_version:
+            return cls()
+        entries = {
+            str(key): CacheEntry.from_dict(value)
+            for key, value in raw.get("files", {}).items()
+        }
+        return cls(entries)
+
+    def save(self, path: Path, engine_version: str) -> None:
+        """Persist the cache (deterministic JSON; sorted keys)."""
+        payload = {
+            "engine": engine_version,
+            "files": {
+                key: self.entries[key].to_dict() for key in sorted(self.entries)
+            },
+        }
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+        Path(path).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+def _filtered(findings: Sequence[Finding], source: str) -> List[Finding]:
+    index = SuppressionIndex.from_source(source)
+    return [f for f in findings if not index.is_suppressed(f.line, f.rule_id)]
+
+
+def _dependent_closure(
+    dirty: Set[str],
+    cache: AnalysisCache,
+    qualname_owner: Dict[str, str],
+) -> Set[str]:
+    """Dirty files plus every cached file that (transitively) refers to
+    a function defined in a dirty file."""
+    ref_edges: Dict[str, Set[str]] = {}
+    for path, entry in cache.entries.items():
+        deps = {qualname_owner[q] for q in entry.refs if q in qualname_owner}
+        deps.discard(path)
+        ref_edges[path] = deps
+    closed = set(dirty)
+    changed = True
+    while changed:
+        changed = False
+        for path, deps in ref_edges.items():
+            if path not in closed and deps & closed:
+                closed.add(path)
+                changed = True
+    return closed
+
+
+def analyze_incremental(
+    files: Sequence[Path],
+    cache_path: Optional[Path],
+    *,
+    engine_version: str,
+    report: Any,
+    extract: Callable[[Path, str], Any],
+    seed: Callable[[Sequence[Any]], Dict[str, Any]],
+    fixed_point: Callable[..., Any],
+    summary_from_dict: Callable[[Dict[str, object]], Any],
+) -> Any:
+    """Run one engine over ``files``, incrementally when ``cache_path``.
+
+    ``report`` is the engine's report object (``UnitsReport`` /
+    ``ShapesReport``); its ``findings``/``errors``/``analyzed``/
+    ``reused``/``files``/``passes`` fields are filled in place and the
+    same object is returned.  ``extract`` parses one file (raising
+    ``SyntaxError`` for VAB000), ``seed`` builds the initial summary
+    table from the parsed modules, ``fixed_point`` is the engine's
+    ``run_*_fixed_point``, and ``summary_from_dict`` decodes one cached
+    summary record.  Summaries must expose ``qualname``, ``path`` and
+    ``to_dict()``; analyses must expose ``findings`` and ``refs``.
+    """
+    sources: Dict[str, str] = {}
+    shas: Dict[str, str] = {}
+    ordered: List[str] = []
+    for file_path in files:
+        key = Path(file_path).as_posix()
+        try:
+            data = Path(file_path).read_bytes()
+        except OSError as exc:
+            report.errors.append(Finding(
+                path=key, line=1, col=0, rule_id=PARSE_ERROR_RULE,
+                message=f"could not read file: {exc}",
+            ))
+            continue
+        ordered.append(key)
+        shas[key] = _sha256(data)
+        sources[key] = data.decode("utf-8", errors="replace")
+
+    cache = AnalysisCache.load(cache_path, engine_version)
+    cache.entries = {k: v for k, v in cache.entries.items() if k in shas}
+
+    qualname_owner: Dict[str, str] = {}
+    for path, entry in cache.entries.items():
+        for raw in entry.summaries:
+            qualname_owner[str(raw["qualname"])] = path
+
+    dirty = {
+        key for key in ordered
+        if key not in cache.entries or cache.entries[key].sha != shas[key]
+    }
+    dirty = _dependent_closure(dirty, cache, qualname_owner) & set(ordered)
+
+    infos: List[Any] = []
+    for key in sorted(dirty):
+        try:
+            infos.append(extract(Path(key), sources[key]))
+        except SyntaxError as exc:
+            report.errors.append(Finding(
+                path=key, line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not parse file: {exc.msg}",
+            ))
+            dirty.discard(key)
+            cache.entries.pop(key, None)
+
+    summaries: Dict[str, Any] = {}
+    for path, entry in cache.entries.items():
+        if path in dirty:
+            continue
+        for raw in entry.summaries:
+            summary = summary_from_dict(raw)
+            summaries[summary.qualname] = summary
+    summaries.update(seed(infos))
+
+    analyses, summaries, passes = fixed_point(infos, summaries)
+    report.passes = passes
+
+    summary_by_path: Dict[str, List[Any]] = {}
+    for summary in summaries.values():
+        summary_by_path.setdefault(summary.path, []).append(summary)
+
+    for key in ordered:
+        if key in dirty:
+            analysis = analyses.get(key)
+            fresh = _filtered(analysis.findings if analysis else [], sources[key])
+            report.findings.extend(fresh)
+            report.analyzed.append(key)
+            cache.entries[key] = CacheEntry(
+                sha=shas[key],
+                findings=[f.to_dict() for f in fresh],
+                summaries=[
+                    s.to_dict() for s in sorted(
+                        summary_by_path.get(key, []), key=lambda s: s.qualname
+                    )
+                ],
+                refs=sorted(analysis.refs) if analysis else [],
+            )
+        elif key in cache.entries:
+            entry = cache.entries[key]
+            report.findings.extend(
+                Finding(
+                    path=str(raw["path"]), line=int(raw["line"]),  # type: ignore[arg-type]
+                    col=int(raw["col"]), rule_id=str(raw["rule"]),  # type: ignore[arg-type]
+                    message=str(raw["message"]),
+                )
+                for raw in entry.findings
+            )
+            report.reused.append(key)
+
+    report.files = len(report.analyzed) + len(report.reused)
+    report.findings.sort()
+    report.errors.sort()
+    if cache_path is not None:
+        cache.save(Path(cache_path), engine_version)
+    return report

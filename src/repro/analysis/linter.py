@@ -60,6 +60,10 @@ class LintReport:
     units_stats: Optional[Dict[str, object]] = None
     """Units-engine run stats (:meth:`UnitsReport.stats`) when the
     dimensional analysis ran; None for suffix-only lint runs."""
+    shapes_stats: Optional[Dict[str, object]] = None
+    """Shapes-engine run stats (:meth:`ShapesReport.stats`) when the
+    shape/dtype dataflow analysis ran (it rides the ``--units`` flag);
+    None for suffix-only lint runs."""
 
     @property
     def clean(self) -> bool:
@@ -205,25 +209,32 @@ def lint_paths(
             defaults to :data:`DEFAULT_EXCLUDES`.
         jobs: worker processes for the per-file rules; ``1`` keeps
             everything in-process.
-        units: also run the interprocedural dimensional-analysis engine
-            (rules VAB006..VAB010, :mod:`repro.analysis.units`).
-        units_cache: optional cache file for incremental units runs.
+        units: also run the interprocedural dataflow engines — the
+            dimensional analysis (VAB006..VAB010,
+            :mod:`repro.analysis.units`) and the shape/dtype analysis
+            (VAB011..VAB016, :mod:`repro.analysis.shapes`).
+        units_cache: optional cache file for incremental units runs;
+            the shapes engine derives a sibling cache file from it.
 
     Returns:
         The aggregate :class:`LintReport`.
     """
-    # Unit rules (VAB006..VAB010) live outside the per-file registry, so
-    # select/disable lists are validated against the union and split.
+    # Engine rules (VAB006..VAB016) live outside the per-file registry,
+    # so select/disable lists are validated against the union and split.
+    from repro.analysis.shapes import SHAPE_RULE_IDS
     from repro.analysis.units import UNIT_RULE_IDS
 
     registry_ids = set(rule_catalogue())
     unit_ids_all = set(UNIT_RULE_IDS)
+    shape_ids_all = set(SHAPE_RULE_IDS)
 
     def _split(ids: Optional[List[str]], label: str) -> Optional[List[str]]:
         if ids is None:
             return None
         upper = [i.upper() for i in ids]
-        unknown = sorted(set(upper) - registry_ids - unit_ids_all)
+        unknown = sorted(
+            set(upper) - registry_ids - unit_ids_all - shape_ids_all
+        )
         if unknown:
             raise KeyError(f"unknown rule id(s) in {label}: {', '.join(unknown)}")
         return [i for i in upper if i in registry_ids]
@@ -244,16 +255,22 @@ def lint_paths(
         for finding in findings:
             (report.errors if finding.is_error else report.findings).append(finding)
     if units:
-        # Imported lazily: the units engine is optional machinery and
-        # most lint_paths callers (fingerprints, the perf gate) never
-        # need it.
+        # Imported lazily: the dataflow engines are optional machinery
+        # and most lint_paths callers (fingerprints, the perf gate)
+        # never need them.
+        from repro.analysis.shapes import analyze_shapes, shapes_cache_path
         from repro.analysis.units import UNIT_RULE_IDS, analyze_units
 
         dropped = {r.upper() for r in disable or []}
-        unit_ids = [r for r in UNIT_RULE_IDS if r not in dropped]
-        if select is not None:
-            wanted = {r.upper() for r in select}
-            unit_ids = [r for r in unit_ids if r in wanted]
+        wanted = {r.upper() for r in select} if select is not None else None
+
+        def _active(all_ids: Sequence[str]) -> List[str]:
+            ids = [r for r in all_ids if r not in dropped]
+            if wanted is not None:
+                ids = [r for r in ids if r in wanted]
+            return ids
+
+        unit_ids = _active(UNIT_RULE_IDS)
         units_report = analyze_units(
             files, cache_path=Path(units_cache) if units_cache else None
         )
@@ -264,7 +281,23 @@ def lint_paths(
             f for f in units_report.findings if f.rule_id in keep
         )
         report.errors.extend(units_report.errors)
-        # A syntax-broken file surfaces VAB000 from both passes; keep one.
+
+        # The shapes pass rides the same flag with a sibling cache file.
+        shape_ids = _active(SHAPE_RULE_IDS)
+        shapes_report = analyze_shapes(
+            files,
+            cache_path=shapes_cache_path(Path(units_cache))
+            if units_cache
+            else None,
+        )
+        report.rules.extend(shape_ids)
+        report.shapes_stats = shapes_report.stats()
+        keep_shapes = set(shape_ids)
+        report.findings.extend(
+            f for f in shapes_report.findings if f.rule_id in keep_shapes
+        )
+        report.errors.extend(shapes_report.errors)
+        # A syntax-broken file surfaces VAB000 from every pass; keep one.
         unique = {
             (f.path, f.line, f.col, f.rule_id, f.message): f
             for f in report.errors

@@ -36,6 +36,13 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
             f"{stats['analyzed']} analyzed, {stats['reused']} cached, "
             f"{stats['passes']} passes"
         )
+    if report.shapes_stats is not None:
+        stats = report.shapes_stats
+        lines.append(
+            f"shapes: engine {stats['engine_version']}, "
+            f"{stats['analyzed']} analyzed, {stats['reused']} cached, "
+            f"{stats['passes']} passes"
+        )
     if verbose:
         lines.append("")
         lines.append(render_catalogue())
@@ -54,16 +61,20 @@ def render_json(report: LintReport) -> str:
     }
     if report.units_stats is not None:
         payload["units"] = report.units_stats
+    if report.shapes_stats is not None:
+        payload["shapes"] = report.shapes_stats
     return json.dumps(payload, indent=2, sort_keys=False) + "\n"
 
 
 def render_catalogue() -> str:
     """The rule catalogue as ``VABxxx name — summary`` lines.
 
-    Covers both the per-file registry (VAB001..VAB005) and the
-    dimensional-analysis engine's rules (VAB006..VAB010), which run only
-    under ``--units`` and therefore live outside the registry.
+    Covers the per-file registry (VAB001..VAB005), the
+    dimensional-analysis engine's rules (VAB006..VAB010), and the
+    shape/dtype dataflow engine's rules (VAB011..VAB016); the engine
+    rules run only under ``--units`` and live outside the registry.
     """
+    from repro.analysis.shapes import SHAPE_RULES
     from repro.analysis.units import UNIT_RULES
 
     lines = []
@@ -71,5 +82,8 @@ def render_catalogue() -> str:
         lines.append(f"{rule_id} {cls.name} — {cls.summary}")
     for rule_id in sorted(UNIT_RULES):
         name, summary = UNIT_RULES[rule_id]
+        lines.append(f"{rule_id} {name} — {summary} (requires --units)")
+    for rule_id in sorted(SHAPE_RULES):
+        name, summary = SHAPE_RULES[rule_id]
         lines.append(f"{rule_id} {name} — {summary} (requires --units)")
     return "\n".join(lines)

@@ -1,10 +1,9 @@
-"""Incremental units cache and the ``analyze_units`` entry point.
+"""Incremental shapes cache and the ``analyze_shapes`` entry point.
 
-The sha-keyed cache, call-graph dependent invalidation, and the
-byte-identical replay contract all live in the shared driver
-(:mod:`repro.analysis.incremental`); this module binds the units
-engine's callables to it and keeps the units-specific types
-(:class:`UnitsReport`, :class:`UnitsCache`) as the public API.
+Identical contract to :mod:`repro.analysis.units.cache` — sha-keyed
+entries, call-graph dependent invalidation, suppression-filtered
+findings stored for byte-identical replay — via the shared driver in
+:mod:`repro.analysis.incremental`.
 """
 
 from __future__ import annotations
@@ -19,10 +18,10 @@ from repro.analysis.incremental import (
     CacheEntry,
     analyze_incremental,
 )
-from repro.analysis.units.engine import (
-    FunctionSummary,
-    run_fixed_point,
-    seed_summaries,
+from repro.analysis.shapes.engine import (
+    ShapeSummary,
+    run_shape_fixed_point,
+    seed_shape_summaries,
 )
 from repro.analysis.units.symbols import extract_module
 
@@ -30,36 +29,50 @@ __all__ = [
     "ENGINE_VERSION",
     "DEFAULT_CACHE_NAME",
     "CacheEntry",
-    "UnitsCache",
-    "UnitsReport",
-    "analyze_units",
+    "ShapesCache",
+    "ShapesReport",
+    "analyze_shapes",
+    "shapes_cache_path",
 ]
 
 ENGINE_VERSION = "1.0.0"
 """Bumping this invalidates every cache entry (new rules, new algebra)."""
 
-DEFAULT_CACHE_NAME = ".vablint_units_cache.json"
+DEFAULT_CACHE_NAME = ".vablint_shapes_cache.json"
 
 
-class UnitsCache(AnalysisCache):
-    """On-disk store of per-file units results (version-bound wrapper)."""
+def shapes_cache_path(units_cache: Optional[Path]) -> Optional[Path]:
+    """Sibling cache file for the shapes pass, derived from the units one.
+
+    The two engines version and invalidate independently, so they keep
+    separate stores; deriving the name keeps the CLI surface at a single
+    ``--units-cache`` flag.
+    """
+    if units_cache is None:
+        return None
+    path = Path(units_cache)
+    if "units" in path.name:
+        return path.with_name(path.name.replace("units", "shapes"))
+    return path.with_name(path.name + ".shapes")
+
+
+class ShapesCache(AnalysisCache):
+    """On-disk store of per-file shapes results (version-bound wrapper)."""
 
     @classmethod
-    def load(cls, path: Optional[Path]) -> "UnitsCache":  # type: ignore[override]
-        """Read a cache file; any mismatch or damage yields an empty cache."""
+    def load(cls, path: Optional[Path]) -> "ShapesCache":  # type: ignore[override]
         return super().load(path, ENGINE_VERSION)  # type: ignore[return-value]
 
     def save(self, path: Path) -> None:  # type: ignore[override]
-        """Persist the cache (deterministic JSON; sorted keys)."""
         super().save(path, ENGINE_VERSION)
 
 
 @dataclass
-class UnitsReport:
-    """Output of one (possibly incremental) units-engine run.
+class ShapesReport:
+    """Output of one (possibly incremental) shapes-engine run.
 
     Attributes:
-        findings: suppression-filtered VAB006..VAB010 findings, sorted.
+        findings: suppression-filtered VAB011..VAB016 findings, sorted.
         errors: parse failures (VAB000).
         files: number of files covered (analyzed + reused).
         analyzed: files re-parsed and re-analyzed this run.
@@ -91,16 +104,14 @@ class UnitsReport:
         }
 
 
-def analyze_units(
+def analyze_shapes(
     files: Sequence[Path],
     cache_path: Optional[Path] = None,
-) -> UnitsReport:
-    """Run the dimensional-analysis engine over ``files``.
+) -> ShapesReport:
+    """Run the shape/dtype dataflow engine over ``files``.
 
-    With ``cache_path`` the run is incremental: unchanged files (whose
-    call-graph dependencies are also unchanged) are served from the
-    cache without re-parsing, and the cache is rewritten afterwards.
-    Without it, every file is analyzed cold.
+    With ``cache_path`` the run is incremental with the same contract as
+    ``analyze_units``; without it every file is analyzed cold.
     """
     # ENGINE_VERSION is read at call time so a version bump (or a test
     # monkeypatching it) invalidates existing cache files.
@@ -108,9 +119,9 @@ def analyze_units(
         files,
         cache_path,
         engine_version=ENGINE_VERSION,
-        report=UnitsReport(),
+        report=ShapesReport(engine_version=ENGINE_VERSION),
         extract=extract_module,
-        seed=seed_summaries,
-        fixed_point=run_fixed_point,
-        summary_from_dict=FunctionSummary.from_dict,
+        seed=seed_shape_summaries,
+        fixed_point=run_shape_fixed_point,
+        summary_from_dict=ShapeSummary.from_dict,
     )

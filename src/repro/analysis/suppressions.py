@@ -11,8 +11,11 @@ A bare ``disable`` (no ``=`` and no rule list) is shorthand for
 ``disable=all`` — every rule is silenced on that line. The same
 shorthand works for ``disable-file``.
 
-The directive applies to findings *reported on that physical line* —
-for a multi-line statement, put it on the line the finding names. A
+The directive applies to findings reported on any physical line of the
+*logical* line carrying the comment: for a statement continued across
+backslashes or open parentheses, a trailing directive on any of its
+physical lines silences the whole statement (findings are reported on
+the statement's first line, which is rarely where the comment fits). A
 file-level opt-out exists for generated or fixture code::
 
     # vablint: disable-file=VAB003
@@ -56,23 +59,45 @@ class SuppressionIndex:
         """
         by_line: Dict[int, Set[str]] = {}
         file_wide: Set[str] = set()
+        # Directives on a continuation line (backslash or open-paren)
+        # must cover the whole logical line: findings anchor on the
+        # statement's *first* physical line. Track where the current
+        # logical line started and spread pending rules over its full
+        # physical extent when the NEWLINE token closes it.
+        _skip = {tokenize.NL, tokenize.INDENT, tokenize.DEDENT,
+                 tokenize.ENDMARKER}
+        logical_start: "int | None" = None
+        last_line = 0
+        pending: Set[str] = set()
         try:
             tokens = tokenize.generate_tokens(io.StringIO(source).readline)
             for tok in tokens:
-                if tok.type != tokenize.COMMENT:
-                    continue
-                match = _FILE_RE.search(tok.string)
-                if match:
-                    file_wide.update(_parse_rule_list(match.group(1)))
-                    continue
-                match = _LINE_RE.search(tok.string)
-                if match:
-                    line = tok.start[0]
-                    by_line.setdefault(line, set()).update(
-                        _parse_rule_list(match.group(1))
-                    )
+                last_line = max(last_line, tok.end[0])
+                if tok.type == tokenize.COMMENT:
+                    match = _FILE_RE.search(tok.string)
+                    if match:
+                        file_wide.update(_parse_rule_list(match.group(1)))
+                        continue
+                    match = _LINE_RE.search(tok.string)
+                    if match:
+                        rules = _parse_rule_list(match.group(1))
+                        by_line.setdefault(tok.start[0], set()).update(rules)
+                        if logical_start is not None:
+                            pending.update(rules)
+                elif tok.type == tokenize.NEWLINE:
+                    if pending and logical_start is not None:
+                        for line in range(logical_start, tok.end[0] + 1):
+                            by_line.setdefault(line, set()).update(pending)
+                    pending.clear()
+                    logical_start = None
+                elif tok.type not in _skip and logical_start is None:
+                    logical_start = tok.start[0]
         except (tokenize.TokenizeError, IndentationError, SyntaxError):
             pass
+        if pending and logical_start is not None:
+            # Unterminated final logical line (no trailing newline).
+            for line in range(logical_start, last_line + 1):
+                by_line.setdefault(line, set()).update(pending)
         return cls(
             {line: frozenset(rules) for line, rules in by_line.items()},
             frozenset(file_wide),

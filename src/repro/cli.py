@@ -217,6 +217,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         disable=rule_list(args.disable),
         exclude=args.exclude,
         jobs=args.jobs,
+        changed=args.changed,
         units=args.units,
         units_cache=None if args.no_units_cache else args.units_cache,
         baseline=args.baseline,

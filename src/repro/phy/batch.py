@@ -39,6 +39,12 @@ from typing import List
 
 import numpy as np
 
+from repro.analysis.shapes.vocab import (
+    ComplexShaped,
+    FloatShaped,
+    IntShaped,
+    Shaped,
+)
 from repro.dsp.filters import dc_block_fast
 from repro.obs.metrics import counter, gauge, histogram
 from repro.obs.probes import probe_finite, probe_invariant
@@ -113,7 +119,9 @@ class BatchedReaderReceiver:
 
     # -- stages -------------------------------------------------------------
 
-    def suppress_carrier_batch(self, records: np.ndarray) -> np.ndarray:
+    def suppress_carrier_batch(
+        self, records: ComplexShaped["trials", "samples"]
+    ) -> ComplexShaped["trials", "samples"]:
         """Stage 1 over the batch: mean removal + DC blocker per row."""
         rx = self.receiver
         centred = records - records.mean(axis=1, keepdims=True)
@@ -124,8 +132,11 @@ class BatchedReaderReceiver:
         return centred
 
     def _estimate_cfo_batch(
-        self, centred: np.ndarray, rows: np.ndarray, start: np.ndarray
-    ) -> np.ndarray:
+        self,
+        centred: ComplexShaped["trials", "samples"],
+        rows: IntShaped["detected"],
+        start: IntShaped["detected"],
+    ) -> FloatShaped["detected"]:
         """Stage 3 over the detected rows ``rows``: CFO per record, Hz."""
         rx = self.receiver
         n = centred.shape[1]
@@ -150,11 +161,11 @@ class BatchedReaderReceiver:
 
     def _slice_chips_batch(
         self,
-        centred: np.ndarray,
-        rows: np.ndarray,
-        start: np.ndarray,
-        phase0: np.ndarray,
-        cfo: np.ndarray,
+        centred: ComplexShaped["trials", "samples"],
+        rows: IntShaped["detected"],
+        start: IntShaped["detected"],
+        phase0: FloatShaped["detected"],
+        cfo: FloatShaped["detected"],
     ) -> tuple:
         """Stage 4 over the detected rows ``rows`` of ``centred``.
 
@@ -259,7 +270,9 @@ class BatchedReaderReceiver:
 
     # -- top level ----------------------------------------------------------
 
-    def demodulate_batch(self, records: np.ndarray) -> List[DemodResult]:
+    def demodulate_batch(
+        self, records: Shaped["trials", "samples"]
+    ) -> List[DemodResult]:
         """Run the full chain on a ``(trials, samples)`` block.
 
         Returns one :class:`DemodResult` per row, in row (= trial)

@@ -10,9 +10,14 @@ paper-scale trial counts.
 The cache is process-local (each worker of the parallel runner warms its
 own) and keyed by *value*, so equal-but-distinct scenario objects share
 entries. Entries are immutable by convention: :class:`ChannelResponse`
-is never mutated by the engine. Invalidate explicitly with
-:func:`clear_channel_cache` after monkey-patching propagation models or
-editing water/surface tables in place.
+is never mutated by the engine, and arrays returned by the cached
+accessors (:func:`cached_between`, :func:`reader_node_response`) are the
+cache's own storage — every caller of an operating point receives the
+*same* ndarray objects, so an in-place write corrupts all later trials.
+The shape/dtype lint pass enforces this statically (rule ``VAB014``,
+:mod:`repro.analysis.shapes`): copy before writing. Invalidate
+explicitly with :func:`clear_channel_cache` after monkey-patching
+propagation models or editing water/surface tables in place.
 """
 
 from __future__ import annotations

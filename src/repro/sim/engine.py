@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.acoustics.channel import ChannelResponse
+from repro.analysis.shapes.vocab import IntShaped
 from repro.acoustics.doppler import apply_doppler
 from repro.dsp.noisegen import (
     colored_noise,
@@ -377,7 +378,7 @@ def simulate_point_batch(
 
 def _score(
     result: DemodResult,
-    sent_bits: np.ndarray,
+    sent_bits: IntShaped["payload_bits"],
     scenario: Scenario,
     theta: float,
 ) -> TrialResult:

@@ -427,6 +427,7 @@ def run_observed_campaign(
     honoured the determinism contract.
     """
     from repro import __version__
+    from repro.analysis.shapes.cache import ENGINE_VERSION as SHAPES_ENGINE_VERSION
     from repro.analysis.units.cache import ENGINE_VERSION as UNITS_ENGINE_VERSION
     from repro.phy.batch import BATCHED_ENGINE_VERSION
     from repro.sim.export import campaign_to_dict, save_manifest
@@ -491,6 +492,7 @@ def run_observed_campaign(
         engine_versions={
             "phy.batch": BATCHED_ENGINE_VERSION,
             "analysis.units": UNITS_ENGINE_VERSION,
+            "analysis.shapes": SHAPES_ENGINE_VERSION,
             "vanatta.fastfield": FASTFIELD_ENGINE_VERSION,
         },
     )

@@ -62,6 +62,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.shapes.vocab import ComplexShaped, FloatShaped
 from repro.analysis.units.vocab import DB, DEG, HZ, MPS
 from repro.obs.metrics import counter, gauge
 from repro.obs.probes import probe_finite
@@ -127,7 +128,7 @@ def element_phases_rad(
 
 def direction_cosine_grid(
     azimuth_deg: ArrayLike, elevation_deg: ArrayLike
-) -> np.ndarray:
+) -> FloatShaped["...", 2]:
     """Face-plane direction cosines ``(sin az cos el, sin el)``, batched.
 
     Broadcasts azimuth against elevation; the result gains a trailing
@@ -270,9 +271,9 @@ class ArrayFactorEngine:
     def field_sum(
         self,
         wavenumber: ArrayLike,
-        u_in: np.ndarray,
-        u_out: np.ndarray,
-    ) -> np.ndarray:
+        u_in: FloatShaped["...", "D"],
+        u_out: FloatShaped["...", "D"],
+    ) -> ComplexShaped["..."]:
         """The raw weighted phasor sum over element terms.
 
         Args:
@@ -324,8 +325,8 @@ class ArrayFactorEngine:
         return reps, pooled
 
     def monostatic_field_sum(
-        self, wavenumber: ArrayLike, u: np.ndarray
-    ) -> np.ndarray:
+        self, wavenumber: ArrayLike, u: FloatShaped["...", "D"]
+    ) -> ComplexShaped["..."]:
         """Raw phasor sum for the monostatic case (``u_in == u_out``).
 
         Applies the retrodirective collapse (see the module docstring):

@@ -1,0 +1,20 @@
+"""Deliberate VAB011 violations: elementwise math that cannot broadcast."""
+
+import numpy as np
+
+from repro.analysis.shapes.vocab import FloatShaped
+
+
+def centre(
+    records: FloatShaped["trials", "samples"]
+) -> FloatShaped["trials", "samples"]:
+    """Remove the per-trial mean -- wrongly, without keepdims."""
+    means = records.mean(axis=1)
+    return records - means
+
+
+def outer_gain(
+    per_trial: FloatShaped["trials"], per_sample: FloatShaped["samples"]
+) -> np.ndarray:
+    """Combine per-axis gains -- wrongly, multiplying mismatched axes."""
+    return per_trial * per_sample

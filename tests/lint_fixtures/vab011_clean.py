@@ -1,0 +1,20 @@
+"""Clean twin: keepdims (or an explicit new axis) keeps blocks aligned."""
+
+import numpy as np
+
+from repro.analysis.shapes.vocab import FloatShaped
+
+
+def centre(
+    records: FloatShaped["trials", "samples"]
+) -> FloatShaped["trials", "samples"]:
+    """Remove the per-trial mean with the reduced axis kept."""
+    means = records.mean(axis=1, keepdims=True)
+    return records - means
+
+
+def outer_gain(
+    per_trial: FloatShaped["trials"], per_sample: FloatShaped["samples"]
+) -> np.ndarray:
+    """Combine per-axis gains over an explicit outer product."""
+    return per_trial[:, None] * per_sample

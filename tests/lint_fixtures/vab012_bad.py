@@ -1,0 +1,15 @@
+"""Deliberate VAB012 violations: reductions that eat the batch block."""
+
+from repro.analysis.shapes.vocab import FloatShaped
+
+
+def mean_power(power: FloatShaped["trials", "samples"]) -> float:
+    """Average power -- wrongly, collapsing the trials batch silently."""
+    return float(power.mean())
+
+
+def per_trial_power(
+    power: FloatShaped["trials", "samples"]
+) -> FloatShaped["trials"]:
+    """Per-trial power -- wrongly, reducing an axis that does not exist."""
+    return power.sum(axis=2)

@@ -1,0 +1,15 @@
+"""Clean twin: reductions name their axis (or collapse explicitly)."""
+
+from repro.analysis.shapes.vocab import FloatShaped
+
+
+def mean_power(power: FloatShaped["trials", "samples"]) -> float:
+    """Average power with the full collapse made explicit."""
+    return float(power.mean(axis=None))
+
+
+def per_trial_power(
+    power: FloatShaped["trials", "samples"]
+) -> FloatShaped["trials"]:
+    """Per-trial power over the sample axis."""
+    return power.sum(axis=1)

@@ -1,0 +1,27 @@
+"""Deliberate VAB013 violations: complex values silently losing phase."""
+
+import numpy as np
+
+from repro.analysis.shapes.vocab import ComplexShaped, FloatShaped
+
+
+def peak_level(field: ComplexShaped["angles"]) -> float:
+    """Scalar level -- wrongly, float() drops the imaginary part."""
+    return float(field[0])
+
+
+def store_first(field: ComplexShaped["angles"]) -> np.ndarray:
+    """Buffer the first sample -- wrongly, into a real-dtype buffer."""
+    out = np.zeros(4)
+    out[0] = field[0]
+    return out
+
+
+def positive_lobes(field: ComplexShaped["angles"]) -> np.ndarray:
+    """Lobe mask -- wrongly, ordering complex values."""
+    return field > 0.0
+
+
+def scaled(field: ComplexShaped["angles"]) -> FloatShaped["angles"]:
+    """Scaled field -- wrongly, returning complex where real is declared."""
+    return field * 2.0

@@ -1,0 +1,27 @@
+"""Clean twin: magnitudes and real parts are taken explicitly."""
+
+import numpy as np
+
+from repro.analysis.shapes.vocab import ComplexShaped, FloatShaped
+
+
+def peak_level(field: ComplexShaped["angles"]) -> float:
+    """Scalar level via the explicit magnitude."""
+    return float(np.abs(field[0]))
+
+
+def store_first(field: ComplexShaped["angles"]) -> np.ndarray:
+    """Buffer the first sample in a complex-dtype buffer."""
+    out = np.zeros(4, dtype=np.complex128)
+    out[0] = field[0]
+    return out
+
+
+def positive_lobes(field: ComplexShaped["angles"]) -> np.ndarray:
+    """Lobe mask over the magnitude, which orders cleanly."""
+    return np.abs(field) > 0.0
+
+
+def scaled(field: ComplexShaped["angles"]) -> FloatShaped["angles"]:
+    """Scaled magnitude, matching the declared real dtype."""
+    return np.abs(field) * 2.0

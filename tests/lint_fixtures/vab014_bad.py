@@ -1,0 +1,17 @@
+"""Deliberate VAB014 violations: mutating arrays shared across a cache."""
+
+from repro.sim.cache import reader_node_response
+
+
+def doppler_scale(scenario: object, rx: object) -> object:
+    """Scale a cached record -- wrongly, in place on the shared entry."""
+    record = reader_node_response(scenario, rx)
+    record *= 0.5
+    return record
+
+
+def ordered_record(scenario: object, rx: object) -> object:
+    """Sort a cached record -- wrongly, mutating the shared entry."""
+    record = reader_node_response(scenario, rx)
+    record.sort()
+    return record

@@ -1,0 +1,17 @@
+"""Clean twin: cache entries are copied before any write."""
+
+from repro.sim.cache import reader_node_response
+
+
+def doppler_scale(scenario: object, rx: object) -> object:
+    """Scale a private copy of the cached record."""
+    record = reader_node_response(scenario, rx).copy()
+    record *= 0.5
+    return record
+
+
+def ordered_record(scenario: object, rx: object) -> object:
+    """Sort a private copy of the cached record."""
+    record = reader_node_response(scenario, rx).copy()
+    record.sort()
+    return record

@@ -1,0 +1,23 @@
+"""Deliberate VAB015 violations: set iteration feeding order-sensitive sinks."""
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def total_energy(levels: Sequence[float]) -> float:
+    """Sum levels -- wrongly, accumulating floats in set order."""
+    pending = set(levels)
+    total = 0.0
+    for value in pending:
+        total += value
+    return total
+
+
+def draw_offsets(rng: np.random.Generator, levels: Sequence[float]) -> List[float]:
+    """Draw one offset per level -- wrongly, consuming the stream in set order."""
+    chosen = {float(value) for value in levels}
+    out = []
+    for value in chosen:
+        out.append(value + rng.normal())
+    return out

@@ -1,0 +1,23 @@
+"""Clean twin: sets are sorted before they drive sums or RNG draws."""
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def total_energy(levels: Sequence[float]) -> float:
+    """Sum levels over a deterministic order."""
+    pending = set(levels)
+    total = 0.0
+    for value in sorted(pending):
+        total += value
+    return total
+
+
+def draw_offsets(rng: np.random.Generator, levels: Sequence[float]) -> List[float]:
+    """Draw one offset per level, stream consumed in sorted order."""
+    chosen = {float(value) for value in levels}
+    out = []
+    for value in sorted(chosen):
+        out.append(value + rng.normal())
+    return out

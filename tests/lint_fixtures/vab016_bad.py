@@ -1,0 +1,16 @@
+"""Deliberate VAB016 violations: code contradicting its Shaped contracts."""
+
+from repro.analysis.shapes.vocab import FloatShaped
+
+
+def angle_profile(
+    grid: FloatShaped["angles", "elements"]
+) -> FloatShaped["angles"]:
+    """Per-angle profile -- wrongly, reducing the angle axis instead."""
+    return grid.sum(axis=0)
+
+
+def best_angle(weights: FloatShaped["elements"]) -> float:
+    """Score a weight vector -- wrongly, passing it as the 2-D grid."""
+    profile = angle_profile(weights)
+    return float(profile.max(axis=0))

@@ -1,0 +1,16 @@
+"""Clean twin: calls and returns agree with the Shaped contracts."""
+
+from repro.analysis.shapes.vocab import FloatShaped
+
+
+def angle_profile(
+    grid: FloatShaped["angles", "elements"]
+) -> FloatShaped["angles"]:
+    """Per-angle profile over the element axis."""
+    return grid.sum(axis=1)
+
+
+def best_angle(grid: FloatShaped["angles", "elements"]) -> float:
+    """Score the full grid through the per-angle profile."""
+    profile = angle_profile(grid)
+    return float(profile.max(axis=0))

@@ -1,0 +1,247 @@
+"""Tier-1 tests for the shared lint front-end (``repro.analysis.frontend``).
+
+Locks the exit-code contract (0 clean / 1 findings / 2 unusable input),
+the JSON reporter schema round-trip (including the empty-findings and
+baseline-suppressed cases), and the ``--changed`` git-scoped discovery.
+"""
+
+import io
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
+from repro.analysis.findings import Finding
+from repro.analysis.frontend import changed_files, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def _import_lint_annotations():
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import lint_annotations
+    finally:
+        sys.path.pop(0)
+    return lint_annotations
+
+
+def _run(paths, **kwargs):
+    out = io.StringIO()
+    code = run_lint([str(p) for p in paths], out=out, **kwargs)
+    return code, out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# exit-code contract
+# ---------------------------------------------------------------------------
+
+
+def test_exit_zero_on_clean_tree():
+    code, text = _run([FIXTURES / "vab001_clean.py"])
+    assert code == EXIT_CLEAN
+    assert text.startswith("clean:")
+
+
+def test_exit_one_on_findings():
+    code, _ = _run([FIXTURES / "vab001_bad.py"])
+    assert code == EXIT_FINDINGS
+
+
+def test_exit_two_on_missing_path():
+    code, _ = _run([FIXTURES / "no_such_file.py"])
+    assert code == EXIT_ERROR
+
+
+def test_exit_two_on_syntax_error():
+    code, _ = _run([FIXTURES / "broken_syntax.py"])
+    assert code == EXIT_ERROR
+
+
+def test_exit_two_on_unknown_rule_id():
+    code, _ = _run([FIXTURES / "vab001_bad.py"], select=["VAB999"])
+    assert code == EXIT_ERROR
+
+
+def test_exit_two_on_update_baseline_without_baseline():
+    code, _ = _run([FIXTURES / "vab001_bad.py"], update_baseline=True)
+    assert code == EXIT_ERROR
+
+
+# ---------------------------------------------------------------------------
+# JSON reporter schema
+# ---------------------------------------------------------------------------
+
+SCHEMA_KEYS = {"files", "rules", "clean", "findings", "errors", "counts"}
+
+
+def test_json_schema_round_trips_findings():
+    code, text = _run([FIXTURES / "vab001_bad.py"], as_json=True)
+    assert code == EXIT_FINDINGS
+    payload = json.loads(text)
+    assert SCHEMA_KEYS <= set(payload)
+    assert payload["clean"] is False
+    assert payload["files"] == 1
+    assert sum(payload["counts"].values()) == len(payload["findings"])
+    for raw in payload["findings"]:
+        finding = Finding(
+            path=raw["path"], line=raw["line"], col=raw["col"],
+            rule_id=raw["rule"], message=raw["message"],
+        )
+        assert finding.to_dict() == raw
+
+
+def test_json_schema_empty_findings():
+    code, text = _run([FIXTURES / "vab001_clean.py"], as_json=True)
+    assert code == EXIT_CLEAN
+    payload = json.loads(text)
+    assert SCHEMA_KEYS <= set(payload)
+    assert payload["clean"] is True
+    assert payload["findings"] == []
+    assert payload["errors"] == []
+    assert payload["counts"] == {}
+
+
+def test_json_includes_engine_stats_under_units():
+    _, text = _run([FIXTURES / "vab016_bad.py"], as_json=True, units=True)
+    payload = json.loads(text)
+    assert payload["units"]["engine_version"]
+    assert payload["shapes"]["engine_version"]
+    assert payload["counts"] == {"VAB016": 2}
+
+
+def test_baseline_suppressed_findings_exit_clean(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    code, _ = _run(
+        [FIXTURES / "vab001_bad.py"],
+        baseline=str(baseline), update_baseline=True,
+    )
+    assert code == EXIT_CLEAN and baseline.is_file()
+
+    code, text = _run(
+        [FIXTURES / "vab001_bad.py"], baseline=str(baseline), as_json=True
+    )
+    assert code == EXIT_CLEAN
+    payload = json.loads(text)
+    assert payload["clean"] is True
+    assert payload["findings"] == []
+
+
+# ---------------------------------------------------------------------------
+# --changed: git-scoped discovery
+# ---------------------------------------------------------------------------
+
+needs_git = pytest.mark.skipif(
+    shutil.which("git") is None, reason="git not available"
+)
+
+
+def _git_repo_with_two_files(tmp_path):
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True, capture_output=True
+        )
+
+    git("init", "-q")
+    git("config", "user.email", "lint@test")
+    git("config", "user.name", "lint")
+    (tmp_path / "steady.py").write_text(
+        "def steady() -> int:\n    return 1\n"
+    )
+    (tmp_path / "moving.py").write_text(
+        "def moving() -> int:\n    return 1\n"
+    )
+    git("add", "-A")
+    git("commit", "-q", "-m", "seed")
+    (tmp_path / "moving.py").write_text(
+        "def moving() -> int:\n    return 2\n"
+    )
+    return tmp_path
+
+
+@needs_git
+def test_changed_restricts_lint_to_dirty_files(tmp_path, monkeypatch):
+    repo = _git_repo_with_two_files(tmp_path)
+    monkeypatch.chdir(repo)
+    code, text = _run([repo], changed="HEAD", as_json=True)
+    assert code == EXIT_CLEAN
+    assert json.loads(text)["files"] == 1
+
+
+@needs_git
+def test_changed_files_lists_modified_and_untracked(tmp_path, monkeypatch):
+    repo = _git_repo_with_two_files(tmp_path)
+    (repo / "fresh.py").write_text("def fresh() -> int:\n    return 3\n")
+    monkeypatch.chdir(repo)
+    names = sorted(p.name for p in changed_files("HEAD"))
+    assert names == ["fresh.py", "moving.py"]
+
+
+@needs_git
+def test_changed_with_bad_ref_exits_two(tmp_path, monkeypatch):
+    repo = _git_repo_with_two_files(tmp_path)
+    monkeypatch.chdir(repo)
+    code, _ = _run([repo], changed="no-such-ref")
+    assert code == EXIT_ERROR
+
+
+def test_changed_outside_a_repo_exits_two(tmp_path, monkeypatch):
+    (tmp_path / "lonely.py").write_text("def lonely() -> int:\n    return 1\n")
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+    code, _ = _run([tmp_path], changed="HEAD")
+    # git missing and "not a repository" both surface as unusable input
+    assert code == EXIT_ERROR
+
+
+# ---------------------------------------------------------------------------
+# GitHub annotations from the JSON report (tools/lint_annotations.py)
+# ---------------------------------------------------------------------------
+
+
+def test_annotation_lines_escape_workflow_commands():
+    lint_annotations = _import_lint_annotations()
+    report = {
+        "findings": [{
+            "path": "src/a,b.py", "line": 3, "col": 7,
+            "rule": "VAB013", "message": "50% drop\nsecond line",
+        }],
+        "errors": [{
+            "path": "src/broken.py", "line": 1, "col": 0,
+            "rule": "VAB000", "message": "could not parse file: bad",
+        }],
+    }
+    lines = lint_annotations.annotation_lines(report)
+    assert lines[0] == (
+        "::error file=src/a%2Cb.py,line=3,col=7,title=VAB013"
+        "::50%25 drop%0Asecond line"
+    )
+    assert lines[1].startswith("::error file=src/broken.py,")
+    assert "title=VAB000" in lines[1]
+
+
+def test_lint_annotations_cli_round_trip(tmp_path, capsys):
+    lint_annotations = _import_lint_annotations()
+    _, text = _run([FIXTURES / "vab016_bad.py"], as_json=True, units=True)
+    report_path = tmp_path / "lint-report.json"
+    report_path.write_text(text)
+    assert lint_annotations.main([str(report_path)]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert len(out) == 2
+    assert all(line.startswith("::error file=") for line in out)
+    assert "title=VAB016" in out[0]
+
+
+def test_lint_annotations_never_fails_the_step(tmp_path, capsys):
+    lint_annotations = _import_lint_annotations()
+    assert lint_annotations.main([str(tmp_path / "missing.json")]) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert lint_annotations.main([str(bad)]) == 0
+    assert lint_annotations.main([]) == 0
+    assert capsys.readouterr().out == ""

@@ -1,0 +1,333 @@
+"""Tier-1 tests for the shape/dtype dataflow engine (VAB011..VAB016).
+
+Fixture pairs with pinned line numbers lock each rule; the vocabulary
+tests lock the dimension/dtype algebra the rules rest on; the cache
+tests lock the incremental contract (edit one file -> only it and its
+call-graph dependents re-analyze); the chain test locks interprocedural
+inference through the ``vanatta.fastfield`` kernel delegation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import discover_files, lint_paths, render_catalogue, render_json
+from repro.analysis.shapes import (
+    SHAPE_RULE_IDS,
+    SHAPE_RULES,
+    ShapeVal,
+    analyze_shapes,
+    run_shape_fixed_point,
+    seed_shape_summaries,
+    shapes_cache_path,
+)
+from repro.analysis.shapes.vocab import (
+    COMPLEX,
+    FLOAT,
+    INT,
+    ComplexShaped,
+    ShapeTag,
+    broadcast_dims,
+    contract_conflict,
+    dims_conflict,
+    promote_dtype,
+)
+from repro.analysis.units.symbols import extract_module
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+# rule id -> (bad fixture, expected finding lines in order)
+EXPECTED_SHAPES_BAD = {
+    "VAB011": ("vab011_bad.py", [13, 20]),
+    "VAB012": ("vab012_bad.py", [8, 15]),
+    "VAB013": ("vab013_bad.py", [10, 16, 22, 27]),
+    "VAB014": ("vab014_bad.py", [9, 16]),
+    "VAB015": ("vab015_bad.py", [12, 21]),
+    "VAB016": ("vab016_bad.py", [10, 15]),
+}
+
+
+# ---------------------------------------------------------------------------
+# the rules, one by one
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_SHAPES_BAD))
+def test_bad_fixture_trips_exactly_the_expected_lines(rule_id):
+    name, lines = EXPECTED_SHAPES_BAD[rule_id]
+    report = lint_paths([FIXTURES / name], select=[rule_id], units=True)
+    assert [f.rule_id for f in report.findings] == [rule_id] * len(lines)
+    assert [f.line for f in report.findings] == lines
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_SHAPES_BAD))
+def test_clean_twin_is_clean_under_every_rule(rule_id):
+    name = EXPECTED_SHAPES_BAD[rule_id][0].replace("_bad", "_clean")
+    report = lint_paths([FIXTURES / name], units=True)
+    assert report.clean, [f.render() for f in report.findings]
+
+
+def test_shape_rule_ids_and_catalogue_agree():
+    assert SHAPE_RULE_IDS == tuple(sorted(EXPECTED_SHAPES_BAD))
+    for rule_id, (name, summary) in SHAPE_RULES.items():
+        assert name and summary, rule_id
+        assert f"{rule_id} {name}" in render_catalogue()
+
+
+def test_src_repro_is_shape_clean():
+    """The acceptance gate: the shipped kernels carry no shape bugs."""
+    package_root = Path(repro.__file__).resolve().parent
+    report = analyze_shapes(discover_files([package_root]))
+    assert report.clean, "\n".join(f.render() for f in report.findings)
+    assert report.files > 50
+    assert report.passes >= 1
+
+
+def test_shapes_findings_respect_suppressions(tmp_path):
+    src = (
+        "from repro.analysis.shapes.vocab import ComplexShaped\n"
+        "\n"
+        "def peak(field: ComplexShaped['angles']) -> float:\n"
+        "    return float(field[0])  # vablint: disable=VAB013\n"
+    )
+    path = tmp_path / "suppressed.py"
+    path.write_text(src)
+    assert analyze_shapes([path]).clean
+
+
+def test_suppression_on_continuation_line_covers_the_statement(tmp_path):
+    """Regression: a directive on a paren/backslash continuation line
+    must silence findings anchored on the statement's first line."""
+    src = (
+        "from repro.analysis.shapes.vocab import ComplexShaped\n"
+        "\n"
+        "def peak(field: ComplexShaped['angles']) -> float:\n"
+        "    return float(\n"
+        "        field[0]  # vablint: disable=VAB013\n"
+        "    )\n"
+    )
+    path = tmp_path / "paren.py"
+    path.write_text(src)
+    assert analyze_shapes([path]).clean
+
+    src_bs = (
+        "from repro.analysis.shapes.vocab import ComplexShaped\n"
+        "\n"
+        "def peak(field: ComplexShaped['angles']) -> float:\n"
+        "    value = 0.0 + \\\n"
+        "        float(field[0])  # vablint: disable=VAB013\n"
+        "    return value\n"
+    )
+    path_bs = tmp_path / "backslash.py"
+    path_bs.write_text(src_bs)
+    assert analyze_shapes([path_bs]).clean
+
+
+def test_suppression_on_own_line_does_not_leak_to_next_statement(tmp_path):
+    src = (
+        "from repro.analysis.shapes.vocab import ComplexShaped\n"
+        "\n"
+        "def peak(field: ComplexShaped['angles']) -> float:\n"
+        "    # vablint: disable=VAB013\n"
+        "    return float(field[0])\n"
+    )
+    path = tmp_path / "leak.py"
+    path.write_text(src)
+    report = analyze_shapes([path])
+    assert [f.rule_id for f in report.findings] == ["VAB013"]
+
+
+# ---------------------------------------------------------------------------
+# interprocedural inference through the fastfield kernel delegation
+# ---------------------------------------------------------------------------
+
+
+def test_fastfield_chain_infers_through_the_kernel():
+    """kernel contract -> delegating sweep -> dB wrapper, no annotations
+    on the last two: the fixed point must carry complex through the
+    batch API and float through the magnitude wrapper."""
+    path = (
+        Path(repro.__file__).resolve().parent / "vanatta" / "fastfield.py"
+    )
+    info = extract_module(path, path.read_text(encoding="utf-8"))
+    summaries = seed_shape_summaries([info])
+    _, summaries, passes = run_shape_fixed_point([info], summaries)
+    prefix = "repro.vanatta.fastfield.ArrayFactorEngine."
+
+    kernel = summaries[prefix + "monostatic_field_sum"]
+    assert kernel.return_source == "contract"
+    assert kernel.returns.dims == ("...",)
+    assert kernel.returns.dtype == COMPLEX
+
+    batch = summaries[prefix + "monostatic_batch"]
+    assert batch.return_source == "inferred"
+    assert batch.returns.dtype == COMPLEX
+
+    pattern = summaries[prefix + "monostatic_pattern_db"]
+    assert pattern.return_source == "inferred"
+    assert pattern.returns.dtype == FLOAT
+
+    assert passes >= 2  # the chain needs propagation, not one sweep
+
+
+# ---------------------------------------------------------------------------
+# the contract vocabulary
+# ---------------------------------------------------------------------------
+
+
+def test_shaped_factory_builds_annotated_tags():
+    tag = ComplexShaped["trials", "samples"].__metadata__[0]
+    assert tag == ShapeTag(("trials", "samples"), COMPLEX)
+    variadic = ComplexShaped[..., "D"].__metadata__[0]
+    assert variadic.dims == ("...", "D")
+    with pytest.raises(TypeError):
+        ComplexShaped[object()]
+
+
+def test_promote_dtype_lattice():
+    assert promote_dtype(COMPLEX, None) == COMPLEX
+    assert promote_dtype(None, FLOAT) is None
+    assert promote_dtype(INT, FLOAT) == FLOAT
+    assert promote_dtype(INT, INT) == INT
+
+
+def test_dims_conflict_only_on_same_kind_tokens():
+    assert dims_conflict("trials", "samples")
+    assert dims_conflict(3, 4)
+    assert not dims_conflict("trials", 3)
+    assert not dims_conflict("trials", "?")
+    assert not dims_conflict("trials", "trials")
+
+
+def test_broadcast_dims_alignment():
+    dims, conflict = broadcast_dims(("trials", "samples"), ("trials", 1))
+    assert dims == ("trials", "samples") and conflict is None
+    dims, conflict = broadcast_dims(("trials",), ("samples",))
+    assert dims is None and conflict == ("trials", "samples")
+    dims, conflict = broadcast_dims(("trials", "samples"), ("trials",))
+    assert dims is None and conflict == ("samples", "trials")
+    dims, conflict = broadcast_dims(("...", "D"), ("trials",))
+    assert dims is None and conflict is None
+
+
+def test_contract_conflict_messages():
+    assert contract_conflict(("angles",), ("angles",)) is None
+    assert contract_conflict(("angles",), ("?",)) is None
+    assert "rank 1" in contract_conflict(("angles", "elements"), ("elements",))
+    assert "contract requires" in contract_conflict(("angles",), ("elements",))
+    assert contract_conflict(("...", "D"), ("a", "b", "D")) is None
+    assert contract_conflict(None, ("a",)) is None
+
+
+def test_shape_val_round_trips_through_json():
+    val = ShapeVal(("trials", 3, "?"), COMPLEX, shared=True)
+    assert ShapeVal.from_dict(json.loads(json.dumps(val.to_dict()))) == val
+
+
+# ---------------------------------------------------------------------------
+# incremental cache
+# ---------------------------------------------------------------------------
+
+
+def _write_kernel_pair(tmp_path, kernel_dtype):
+    producer = tmp_path / "producer.py"
+    caller = tmp_path / "caller.py"
+    producer.write_text(
+        "from repro.analysis.shapes.vocab import "
+        "ComplexShaped, FloatShaped\n"
+        "\n"
+        f"def kernel(n: int) -> {kernel_dtype}['angles']:\n"
+        "    raise NotImplementedError\n"
+    )
+    caller.write_text(
+        "from producer import kernel\n"
+        "\n"
+        "def level(n: int) -> float:\n"
+        "    return float(kernel(n)[0])\n"
+    )
+    return producer, caller
+
+
+def test_cache_reanalyzes_dependents_of_a_contract_edit(tmp_path):
+    producer, caller = _write_kernel_pair(tmp_path, "ComplexShaped")
+    cache = tmp_path / "shapes_cache.json"
+    files = [producer, caller]
+
+    cold = analyze_shapes(files, cache_path=cache)
+    assert [(f.rule_id, Path(f.path).name, f.line) for f in cold.findings] == [
+        ("VAB013", "caller.py", 4)
+    ]
+    assert sorted(Path(p).name for p in cold.analyzed) == [
+        "caller.py", "producer.py",
+    ]
+
+    warm = analyze_shapes(files, cache_path=cache)
+    assert warm.analyzed == []
+    assert sorted(Path(p).name for p in warm.reused) == [
+        "caller.py", "producer.py",
+    ]
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+
+    # Relax the producer's contract: only its bytes change, but the
+    # caller's call-site verdict depends on it -> both re-analyze.
+    _write_kernel_pair(tmp_path, "FloatShaped")
+    edited = analyze_shapes(files, cache_path=cache)
+    assert sorted(Path(p).name for p in edited.analyzed) == [
+        "caller.py", "producer.py",
+    ]
+    assert edited.clean, [f.render() for f in edited.findings]
+
+
+def test_cache_and_cold_reports_are_byte_identical(tmp_path):
+    cache = tmp_path / "shapes_cache.json"
+    fixture = FIXTURES / "vab013_bad.py"
+    cold = lint_paths([fixture], units=True)
+    analyze_shapes([fixture], cache_path=cache)  # prime
+    warm = lint_paths([fixture], units=True)
+    # Stats differ (analyzed vs reused); the findings must not.
+    cold_payload = json.loads(render_json(cold))
+    warm_payload = json.loads(render_json(warm))
+    assert cold_payload["findings"] == warm_payload["findings"]
+    assert cold_payload["counts"] == warm_payload["counts"]
+
+
+def test_cache_invalidates_on_engine_version_change(tmp_path, monkeypatch):
+    producer, caller = _write_kernel_pair(tmp_path, "ComplexShaped")
+    cache = tmp_path / "shapes_cache.json"
+    analyze_shapes([producer, caller], cache_path=cache)
+    warm = analyze_shapes([producer, caller], cache_path=cache)
+    assert warm.analyzed == []
+
+    import repro.analysis.shapes.cache as shapes_cache_module
+
+    monkeypatch.setattr(shapes_cache_module, "ENGINE_VERSION", "999.0.0")
+    bumped = analyze_shapes([producer, caller], cache_path=cache)
+    assert sorted(Path(p).name for p in bumped.analyzed) == [
+        "caller.py", "producer.py",
+    ]
+    assert bumped.engine_version == "999.0.0"
+
+
+def test_shapes_cache_path_derivation():
+    assert shapes_cache_path(None) is None
+    assert shapes_cache_path(
+        Path("x/.vablint_units_cache.json")
+    ) == Path("x/.vablint_shapes_cache.json")
+    assert shapes_cache_path(Path("x/lint.json")) == Path("x/lint.json.shapes")
+
+
+def test_lint_paths_writes_the_sibling_shapes_cache(tmp_path):
+    units_cache = tmp_path / "units_cache.json"
+    report = lint_paths(
+        [FIXTURES / "vab016_bad.py"], units=True, units_cache=units_cache
+    )
+    assert report.units_stats is not None
+    assert report.shapes_stats is not None
+    sibling = shapes_cache_path(units_cache)
+    assert units_cache.is_file() and sibling.is_file()
+    payload = json.loads(sibling.read_text())
+    assert payload["engine"] == report.shapes_stats["engine_version"]

@@ -214,10 +214,12 @@ def test_cached_findings_match_cold_findings_exactly(tmp_path):
     cold = lint_paths(bad, units=True, units_cache=cache)
     warm = lint_paths(bad, units=True, units_cache=cache)
     assert warm.units_stats["analyzed"] == 0
+    assert warm.shapes_stats["analyzed"] == 0
     cold_payload = json.loads(render_json(cold))
     warm_payload = json.loads(render_json(warm))
-    cold_payload.pop("units")
-    warm_payload.pop("units")
+    for payload in (cold_payload, warm_payload):
+        payload.pop("units")
+        payload.pop("shapes")
     assert cold_payload == warm_payload
 
 

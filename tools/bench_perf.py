@@ -104,17 +104,19 @@ def lint_gate(allow_dirty: bool) -> Optional[dict]:
     recording one from a tree that fails ``vablint`` (non-deterministic
     RNG use, unit mix-ups, wall-clock in the sim path) would bake
     unreproducible numbers into history. Returns the fingerprint record
-    to embed — stamped with the dimensional-analysis engine version so
-    each BENCH file pins which units checker vetted the tree — or
-    ``None`` when the tree is dirty and ``allow_dirty`` is false (the
-    caller must refuse to write).
+    to embed — stamped with the dimensional-analysis and shape-analysis
+    engine versions so each BENCH file pins which checkers vetted the
+    tree — or ``None`` when the tree is dirty and ``allow_dirty`` is
+    false (the caller must refuse to write).
     """
+    from repro.analysis.shapes import ENGINE_VERSION as SHAPES_ENGINE_VERSION
     from repro.analysis.units import ENGINE_VERSION
 
     record = tree_fingerprint([REPO_ROOT / "src" / "repro"])
     if not record["clean"] and not allow_dirty:
         return None
     record["units_engine_version"] = ENGINE_VERSION
+    record["shapes_engine_version"] = SHAPES_ENGINE_VERSION
     return record
 
 

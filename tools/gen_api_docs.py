@@ -122,6 +122,12 @@ deterministic regardless of job count).
 | `VAB008` | hz-rad-confusion | (`--units`) no Hz vs rad/s (or kHz) conflicts in arithmetic, call arguments, trig/filter calls |
 | `VAB009` | m-km-mix | (`--units`) no metre/kilometre mixing; `dB/km` coefficients times metres demand the `/ 1e3` |
 | `VAB010` | call-site-unit-conflict | (`--units`) no argument units contradicting a callee's parameters, or returns contradicting declarations |
+| `VAB011` | silent-broadcast | (`--units`) no elementwise arithmetic between symbolic shapes that provably cannot broadcast (the missing-`keepdims` class of bug) |
+| `VAB012` | batch-collapsing-reduction | (`--units`) no axis-less reductions of named batch arrays, no reduction axes that exceed the declared rank |
+| `VAB013` | complex-downcast | (`--units`) no silent complex→real decay: `float()`/real-buffer stores/ordered comparisons of complex fields must go through `np.abs`/`.real` |
+| `VAB014` | cache-mutation | (`--units`) no in-place writes to arrays handed out by the worker/cache boundary (`reader_node_response`, `cached_between`) — copy first |
+| `VAB015` | set-order-accumulation | (`--units`) no order-dependent accumulation (`+=`, RNG draws) driven by iteration over `set`/`frozenset` — sort first |
+| `VAB016` | shape-contract-violation | (`--units`) no returns or call arguments contradicting a `Shaped[...]` contract (rank, named dims, dtype family) |
 
 ### Dimensional analysis (`--units`)
 
@@ -162,12 +168,53 @@ Conversions are algebraic, not pattern-matched: `m / 1e3` is `km`,
 becomes `dB` after the missing `/ 1e3` (the paper's flagship unit
 trap), `2 * pi * f_hz` is `rad/s`, and `10 * log10(x)` promotes to dB.
 
+### Shape/dtype dataflow analysis (also `--units`)
+
+VAB011..VAB016 come from `repro.analysis.shapes`: a second
+flow-sensitive, interprocedural engine over the same call-graph
+machinery that tracks symbolic ndarray shapes, dtype families, and
+determinism taints through the batched kernels. Shape facts are seeded
+by `Annotated` contracts from `repro.analysis.shapes.vocab` —
+`Shaped["trials", "samples"]`, plus the dtype-carrying
+`ComplexShaped` / `FloatShaped` / `IntShaped` — on the
+batched APIs in `repro.phy.batch`, `repro.vanatta.fastfield`, and
+`repro.sim.engine`, and by a curated numpy signature DB
+(`repro.analysis.shapes.sigdb`) for the un-annotated rest::
+
+    from repro.analysis.shapes.vocab import ComplexShaped
+
+    def suppress_carrier_batch(
+        self, records: ComplexShaped["trials", "samples"]
+    ) -> ComplexShaped["trials", "samples"]:
+        ...
+
+Dimension tokens are symbolic names (`"trials"`), fixed extents (`3`;
+`1` broadcasts), `"?"` (unknown), and `"..."` (any leading block);
+dtypes form the coarse lattice `complex > float > int > bool`. The
+engine is deliberately conservative — a rule fires only on a
+*provable* conflict (two distinct names or two distinct extents in one
+broadcast slot), so unknown shapes stay silent — and summaries flow
+interprocedurally: an un-annotated caller of an annotated kernel
+inherits the kernel's return shape/dtype. The flagship catch is the
+missing-`keepdims` slip, `records - records.mean(axis=1)`, which pits
+`"samples"` against `"trials"` in one broadcast slot (VAB011); the
+same machinery flags silent phase loss on the complex field sums
+(VAB013) and in-place writes to channel-cache storage (VAB014). The
+engine shares the incremental cache format (sibling
+`.vablint_shapes_cache.json` derived from `--units-cache`), the
+baseline, the suppression syntax, and the JSON report (a `shapes`
+stats block next to `units`).
+
 **Incremental cache** — `--units-cache PATH` (tool default
 `.vablint_units_cache.json`, git-ignored) keys per-file results by
-content sha256 + engine version. An edit re-analyzes only the file and
-its call-graph dependents; everything else is replayed byte-identically
-from cache. `--no-units-cache` forces a cold run (what CI does);
-version bumps and damaged caches degrade to cold runs automatically.
+content sha256 + engine version; the shapes engine keeps a sibling
+cache at the derived `.vablint_shapes_cache.json` path. An edit
+re-analyzes only the file and its call-graph dependents; everything
+else is replayed byte-identically from cache. `--no-units-cache`
+forces a cold run (what CI does); version bumps and damaged caches
+degrade to cold runs automatically. For an even faster inner loop,
+`--changed [REF]` restricts linting to files that differ from a git
+ref (default `HEAD`) plus untracked files.
 
 **Differential baseline** — `--baseline lint_baseline.json` absorbs
 known findings (keyed by `path::rule::message`, line-number-free so
@@ -224,11 +271,14 @@ rule ids and the clean/dirty verdict. Campaign manifests record it via
 `python -m repro sweep --manifest run.json --lint-fingerprint`), and
 `tools/bench_perf.py` refuses to write a `BENCH_<n>.json` from a tree
 that does not lint clean (`--allow-dirty-lint` overrides); the lint
-record in each BENCH file carries `units_engine_version` so perf
-history pins which dimensional checker vetted the tree. CI runs the
-full gate — per-file rules plus `--units`, differenced against the
-committed `lint_baseline.json` — before the typed-API check, and
-uploads the JSON report as a build artifact.
+record in each BENCH file carries `units_engine_version` and
+`shapes_engine_version` so perf history pins which checkers vetted the
+tree (campaign manifests stamp the same versions under
+`engine_versions`). CI runs the full gate — per-file rules plus
+`--units`, differenced against the committed `lint_baseline.json` —
+before the typed-API check, renders the JSON report as inline GitHub
+problem-matcher annotations (`tools/lint_annotations.py`), and uploads
+the report as a build artifact.
 
 ### Typed-API gate
 

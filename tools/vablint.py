@@ -4,17 +4,21 @@
 Checks the project-specific invariants (``VAB001``..``VAB005``: RNG
 threading, unit-suffix discipline, wall-clock hygiene, typed public
 API) over any set of files or directories; ``--units`` adds the
-interprocedural dimensional-analysis rules (``VAB006``..``VAB010``:
-dB-domain products, dB/linear mixing, Hz vs rad/s, m vs km, call-site
-unit conflicts). See ``repro.analysis`` for the framework and
-``--catalogue`` for the rules.
+interprocedural dataflow rules: dimensional analysis
+(``VAB006``..``VAB010``: dB-domain products, dB/linear mixing, Hz vs
+rad/s, m vs km, call-site unit conflicts) and shape/dtype analysis
+(``VAB011``..``VAB016``: silent broadcasts, batch-collapsing
+reductions, complex->real downcasts, shared-array mutation, unordered
+accumulation, shape-contract violations). See ``repro.analysis`` for
+the framework and ``--catalogue`` for the rules.
 
 Usage::
 
     python tools/vablint.py src/repro            # lint the library
     python tools/vablint.py --json src/repro     # CI / machine output
     python tools/vablint.py --select VAB001 src  # one rule only
-    python tools/vablint.py --units src/repro    # + dimensional analysis
+    python tools/vablint.py --units src/repro    # + dataflow engines
+    python tools/vablint.py --changed main src   # only files touched vs main
     python tools/vablint.py --units --baseline lint_baseline.json src/repro
     python tools/vablint.py --fingerprint src/repro
 
@@ -76,6 +80,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         disable=rule_list(args.disable),
         exclude=args.exclude,
         jobs=args.jobs,
+        changed=args.changed,
         units=args.units,
         units_cache=None if args.no_units_cache else args.units_cache,
         baseline=args.baseline,
