@@ -1,8 +1,8 @@
-"""Incremental shapes cache and the ``analyze_shapes`` entry point.
+"""Incremental effects cache and the ``analyze_effects`` entry point.
 
-Identical contract to :mod:`repro.analysis.units.cache` — sha-keyed
-entries, call-graph dependent invalidation, suppression-filtered
-findings stored for byte-identical replay — via the shared driver in
+Identical contract to the units and shapes caches — sha-keyed entries,
+call-graph dependent invalidation, suppression-filtered findings stored
+for byte-identical replay — via the shared driver in
 :mod:`repro.analysis.incremental`.
 """
 
@@ -12,16 +12,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.analysis.effects.engine import (
+    EffectSummary,
+    run_effect_fixed_point,
+    seed_effect_summaries,
+)
 from repro.analysis.findings import Finding
 from repro.analysis.incremental import (
     AnalysisCache,
     CacheEntry,
     analyze_incremental,
-)
-from repro.analysis.shapes.engine import (
-    ShapeSummary,
-    run_shape_fixed_point,
-    seed_shape_summaries,
 )
 from repro.analysis.units.symbols import extract_module
 
@@ -29,22 +29,22 @@ __all__ = [
     "ENGINE_VERSION",
     "DEFAULT_CACHE_NAME",
     "CacheEntry",
-    "ShapesCache",
-    "ShapesReport",
-    "analyze_shapes",
-    "shapes_cache_path",
+    "EffectsCache",
+    "EffectsReport",
+    "analyze_effects",
+    "effects_cache_path",
 ]
 
 ENGINE_VERSION = "1.0.0"
-"""Bumping this invalidates every cache entry (new rules, new algebra)."""
+"""Bumping this invalidates every cache entry (new rules, new sigdb)."""
 
-DEFAULT_CACHE_NAME = ".vablint_shapes_cache.json"
+DEFAULT_CACHE_NAME = ".vablint_effects_cache.json"
 
 
-def shapes_cache_path(units_cache: Optional[Path]) -> Optional[Path]:
-    """Sibling cache file for the shapes pass, derived from the units one.
+def effects_cache_path(units_cache: Optional[Path]) -> Optional[Path]:
+    """Sibling cache file for the effects pass, derived from the units one.
 
-    The two engines version and invalidate independently, so they keep
+    The engines version and invalidate independently, so they keep
     separate stores; deriving the name keeps the CLI surface at a single
     ``--units-cache`` flag.
     """
@@ -52,15 +52,15 @@ def shapes_cache_path(units_cache: Optional[Path]) -> Optional[Path]:
         return None
     path = Path(units_cache)
     if "units" in path.name:
-        return path.with_name(path.name.replace("units", "shapes"))
-    return path.with_name(path.name + ".shapes")
+        return path.with_name(path.name.replace("units", "effects"))
+    return path.with_name(path.name + ".effects")
 
 
-class ShapesCache(AnalysisCache):
-    """On-disk store of per-file shapes results (version-bound wrapper)."""
+class EffectsCache(AnalysisCache):
+    """On-disk store of per-file effects results (version-bound wrapper)."""
 
     @classmethod
-    def load(cls, path: Optional[Path]) -> "ShapesCache":  # type: ignore[override]
+    def load(cls, path: Optional[Path]) -> "EffectsCache":  # type: ignore[override]
         return super().load(path, ENGINE_VERSION)  # type: ignore[return-value]
 
     def save(self, path: Path) -> None:  # type: ignore[override]
@@ -68,11 +68,11 @@ class ShapesCache(AnalysisCache):
 
 
 @dataclass
-class ShapesReport:
-    """Output of one (possibly incremental) shapes-engine run.
+class EffectsReport:
+    """Output of one (possibly incremental) effects-engine run.
 
     Attributes:
-        findings: suppression-filtered VAB011..VAB016 findings, sorted.
+        findings: suppression-filtered VAB017..VAB022 findings, sorted.
         errors: parse failures (VAB000).
         files: number of files covered (analyzed + reused).
         analyzed: files re-parsed and re-analyzed this run.
@@ -104,12 +104,12 @@ class ShapesReport:
         }
 
 
-def analyze_shapes(
+def analyze_effects(
     files: Sequence[Path],
     cache_path: Optional[Path] = None,
     force_dirty: Optional[Set[str]] = None,
-) -> ShapesReport:
-    """Run the shape/dtype dataflow engine over ``files``.
+) -> EffectsReport:
+    """Run the effect/purity analysis engine over ``files``.
 
     With ``cache_path`` the run is incremental with the same contract as
     ``analyze_units``; without it every file is analyzed cold.
@@ -120,10 +120,10 @@ def analyze_shapes(
         files,
         cache_path,
         engine_version=ENGINE_VERSION,
-        report=ShapesReport(engine_version=ENGINE_VERSION),
+        report=EffectsReport(engine_version=ENGINE_VERSION),
         extract=extract_module,
-        seed=seed_shape_summaries,
-        fixed_point=run_shape_fixed_point,
-        summary_from_dict=ShapeSummary.from_dict,
+        seed=seed_effect_summaries,
+        fixed_point=run_effect_fixed_point,
+        summary_from_dict=EffectSummary.from_dict,
         force_dirty=force_dirty,
     )

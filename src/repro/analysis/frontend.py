@@ -21,7 +21,12 @@ from repro.analysis.linter import (
     discover_files,
     lint_paths,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_stats,
+    render_text,
+)
 
 
 def rule_list(raw: Optional[str]) -> Optional[List[str]]:
@@ -56,8 +61,9 @@ def add_lint_flags(parser: argparse.ArgumentParser) -> None:
                              "git ref (default HEAD) plus untracked files")
     parser.add_argument("--units", action="store_true",
                         help="run the interprocedural dataflow engines: "
-                             "dimensional analysis (VAB006..VAB010) and "
-                             "shape/dtype analysis (VAB011..VAB016)")
+                             "dimensional analysis (VAB006..VAB010), "
+                             "shape/dtype analysis (VAB011..VAB016) and "
+                             "effect/purity analysis (VAB017..VAB022)")
     parser.add_argument("--units-cache", default=".vablint_units_cache.json",
                         metavar="PATH", dest="units_cache",
                         help="cache file for incremental --units runs")
@@ -71,6 +77,13 @@ def add_lint_flags(parser: argparse.ArgumentParser) -> None:
                         dest="update_baseline",
                         help="rewrite --baseline from the current findings "
                              "and exit 0")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-engine timing and incremental-cache "
+                             "hit/miss counts after the run (embedded in the "
+                             "JSON report under \"stats\")")
+    parser.add_argument("--sarif", default=None, metavar="PATH",
+                        help="also write a SARIF 2.1.0 log to PATH (for the "
+                             "GitHub code-scanning upload)")
     parser.add_argument("--catalogue", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--fingerprint", action="store_true",
@@ -121,6 +134,8 @@ def run_lint(
     baseline: Optional[str] = None,
     update_baseline: bool = False,
     as_json: bool = False,
+    stats: bool = False,
+    sarif: Optional[str] = None,
     out: Optional[TextIO] = None,
 ) -> int:
     """Run one lint invocation end to end; returns the process exit code.
@@ -143,11 +158,16 @@ def run_lint(
         update_baseline: rewrite ``baseline`` from the current findings
             and exit clean (requires ``baseline``).
         as_json: JSON report instead of text.
+        stats: append per-engine timing / cache hit-miss stats to the
+            text report (or embed them in the JSON one).
+        sarif: also write a SARIF 2.1.0 log to this path.
         out: stream to write the report to (default stdout).
     """
     stream = out if out is not None else sys.stdout
     patterns = list(DEFAULT_EXCLUDES) + [p for p in (exclude or []) if p]
     lint_targets: Sequence[str] = paths
+    engine_paths: Optional[Sequence[str]] = None
+    engine_force_dirty: Optional[set] = None
     if changed is not None:
         try:
             touched = {p.resolve() for p in changed_files(changed)}
@@ -162,6 +182,14 @@ def run_lint(
         lint_targets = [
             p.as_posix() for p in discovered if p.resolve() in touched
         ]
+        # The per-file rules scope to the touched files, but the
+        # interprocedural engines must keep the whole call graph in
+        # view: a touched callee invalidates its callers' call-site
+        # checks even when the callers did not change.  The engines get
+        # the full discovery set, with the touched files forced dirty
+        # so dependent invalidation re-summarizes their callers.
+        engine_paths = list(paths)
+        engine_force_dirty = set(lint_targets)
     try:
         report: LintReport = lint_paths(
             lint_targets,
@@ -171,6 +199,8 @@ def run_lint(
             jobs=jobs,
             units=units,
             units_cache=units_cache if units else None,
+            engine_paths=engine_paths if units else None,
+            engine_force_dirty=engine_force_dirty if units else None,
         )
     except FileNotFoundError as exc:
         print(f"vablint: {exc}", file=sys.stderr)
@@ -214,5 +244,12 @@ def run_lint(
               file=sys.stderr)
         return EXIT_ERROR
 
-    stream.write(render_json(report) if as_json else render_text(report))
+    if sarif is not None:
+        Path(sarif).write_text(render_sarif(report), encoding="utf-8")
+    if as_json:
+        stream.write(render_json(report, stats=stats))
+    else:
+        stream.write(render_text(report))
+        if stats:
+            stream.write(render_stats(report))
     return report.exit_code

@@ -141,6 +141,7 @@ def analyze_incremental(
     seed: Callable[[Sequence[Any]], Dict[str, Any]],
     fixed_point: Callable[..., Any],
     summary_from_dict: Callable[[Dict[str, object]], Any],
+    force_dirty: Optional[Set[str]] = None,
 ) -> Any:
     """Run one engine over ``files``, incrementally when ``cache_path``.
 
@@ -153,6 +154,12 @@ def analyze_incremental(
     ``run_*_fixed_point``, and ``summary_from_dict`` decodes one cached
     summary record.  Summaries must expose ``qualname``, ``path`` and
     ``to_dict()``; analyses must expose ``findings`` and ``refs``.
+
+    ``force_dirty`` (posix path strings) marks files dirty regardless of
+    their content hash; their call-graph dependents are invalidated the
+    same way sha-changed files are.  ``--changed`` runs use this so the
+    engines re-check every dependent of a touched file even when the
+    dependents themselves did not change.
     """
     sources: Dict[str, str] = {}
     shas: Dict[str, str] = {}
@@ -183,6 +190,8 @@ def analyze_incremental(
         key for key in ordered
         if key not in cache.entries or cache.entries[key].sha != shas[key]
     }
+    if force_dirty:
+        dirty |= force_dirty & set(ordered)
     dirty = _dependent_closure(dirty, cache, qualname_owner) & set(ordered)
 
     infos: List[Any] = []

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.findings import PARSE_ERROR_RULE, Finding
 from repro.analysis.registry import FileContext, Rule, make_rules, rule_catalogue
@@ -64,6 +65,15 @@ class LintReport:
     """Shapes-engine run stats (:meth:`ShapesReport.stats`) when the
     shape/dtype dataflow analysis ran (it rides the ``--units`` flag);
     None for suffix-only lint runs."""
+    effects_stats: Optional[Dict[str, object]] = None
+    """Effects-engine run stats (:meth:`EffectsReport.stats`) when the
+    effect/purity analysis ran (it rides the ``--units`` flag); None
+    for suffix-only lint runs."""
+    timings: Dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per stage (``rules``/``units``/``shapes``/
+    ``effects``).  Only rendered under ``--stats`` — the timing values
+    are run-dependent and must stay out of the deterministic report
+    payload."""
 
     @property
     def clean(self) -> bool:
@@ -198,6 +208,8 @@ def lint_paths(
     jobs: int = 1,
     units: bool = False,
     units_cache: Optional[PathLike] = None,
+    engine_paths: Optional[Sequence[PathLike]] = None,
+    engine_force_dirty: Optional[Set[str]] = None,
 ) -> LintReport:
     """Lint every Python file under ``paths`` with the registered rules.
 
@@ -211,22 +223,35 @@ def lint_paths(
             everything in-process.
         units: also run the interprocedural dataflow engines — the
             dimensional analysis (VAB006..VAB010,
-            :mod:`repro.analysis.units`) and the shape/dtype analysis
-            (VAB011..VAB016, :mod:`repro.analysis.shapes`).
+            :mod:`repro.analysis.units`), the shape/dtype analysis
+            (VAB011..VAB016, :mod:`repro.analysis.shapes`) and the
+            effect/purity analysis (VAB017..VAB022,
+            :mod:`repro.analysis.effects`).
         units_cache: optional cache file for incremental units runs;
-            the shapes engine derives a sibling cache file from it.
+            the shapes and effects engines derive sibling cache files
+            from it.
+        engine_paths: when given, the interprocedural engines analyze
+            this (usually wider) file set instead of ``paths`` — a
+            ``--changed`` run scopes the per-file rules to the touched
+            files but must keep the whole call graph visible to the
+            engines, or dependents' call-site checks go stale.
+        engine_force_dirty: posix paths the engines must re-analyze
+            (with their call-graph dependents) even when unchanged on
+            disk; the ``--changed`` dependent-invalidation hook.
 
     Returns:
         The aggregate :class:`LintReport`.
     """
-    # Engine rules (VAB006..VAB016) live outside the per-file registry,
+    # Engine rules (VAB006..VAB022) live outside the per-file registry,
     # so select/disable lists are validated against the union and split.
+    from repro.analysis.effects import EFFECT_RULE_IDS
     from repro.analysis.shapes import SHAPE_RULE_IDS
     from repro.analysis.units import UNIT_RULE_IDS
 
     registry_ids = set(rule_catalogue())
     unit_ids_all = set(UNIT_RULE_IDS)
     shape_ids_all = set(SHAPE_RULE_IDS)
+    effect_ids_all = set(EFFECT_RULE_IDS)
 
     def _split(ids: Optional[List[str]], label: str) -> Optional[List[str]]:
         if ids is None:
@@ -234,6 +259,7 @@ def lint_paths(
         upper = [i.upper() for i in ids]
         unknown = sorted(
             set(upper) - registry_ids - unit_ids_all - shape_ids_all
+            - effect_ids_all
         )
         if unknown:
             raise KeyError(f"unknown rule id(s) in {label}: {', '.join(unknown)}")
@@ -245,11 +271,13 @@ def lint_paths(
     report = LintReport(rules=[r.rule_id for r in active])
     files = discover_files(paths, exclude=exclude)
     work = [(f.as_posix(), reg_select, reg_disable) for f in files]
+    t0 = time.monotonic()
     if jobs > 1 and len(work) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             results = list(pool.map(_lint_one, work, chunksize=8))
     else:
         results = [_lint_one(item) for item in work]
+    report.timings["rules"] = time.monotonic() - t0
     for read_ok, findings in results:
         report.files += 1 if read_ok else 0
         for finding in findings:
@@ -258,6 +286,7 @@ def lint_paths(
         # Imported lazily: the dataflow engines are optional machinery
         # and most lint_paths callers (fingerprints, the perf gate)
         # never need them.
+        from repro.analysis.effects import analyze_effects, effects_cache_path
         from repro.analysis.shapes import analyze_shapes, shapes_cache_path
         from repro.analysis.units import UNIT_RULE_IDS, analyze_units
 
@@ -270,10 +299,20 @@ def lint_paths(
                 ids = [r for r in ids if r in wanted]
             return ids
 
-        unit_ids = _active(UNIT_RULE_IDS)
-        units_report = analyze_units(
-            files, cache_path=Path(units_cache) if units_cache else None
+        engine_files = (
+            discover_files(engine_paths, exclude=exclude)
+            if engine_paths is not None
+            else files
         )
+
+        unit_ids = _active(UNIT_RULE_IDS)
+        t0 = time.monotonic()
+        units_report = analyze_units(
+            engine_files,
+            cache_path=Path(units_cache) if units_cache else None,
+            force_dirty=engine_force_dirty,
+        )
+        report.timings["units"] = time.monotonic() - t0
         report.rules.extend(unit_ids)
         report.units_stats = units_report.stats()
         keep = set(unit_ids)
@@ -284,12 +323,15 @@ def lint_paths(
 
         # The shapes pass rides the same flag with a sibling cache file.
         shape_ids = _active(SHAPE_RULE_IDS)
+        t0 = time.monotonic()
         shapes_report = analyze_shapes(
-            files,
+            engine_files,
             cache_path=shapes_cache_path(Path(units_cache))
             if units_cache
             else None,
+            force_dirty=engine_force_dirty,
         )
+        report.timings["shapes"] = time.monotonic() - t0
         report.rules.extend(shape_ids)
         report.shapes_stats = shapes_report.stats()
         keep_shapes = set(shape_ids)
@@ -297,6 +339,25 @@ def lint_paths(
             f for f in shapes_report.findings if f.rule_id in keep_shapes
         )
         report.errors.extend(shapes_report.errors)
+
+        # So does the effect/purity pass.
+        effect_ids = _active(EFFECT_RULE_IDS)
+        t0 = time.monotonic()
+        effects_report = analyze_effects(
+            engine_files,
+            cache_path=effects_cache_path(Path(units_cache))
+            if units_cache
+            else None,
+            force_dirty=engine_force_dirty,
+        )
+        report.timings["effects"] = time.monotonic() - t0
+        report.rules.extend(effect_ids)
+        report.effects_stats = effects_report.stats()
+        keep_effects = set(effect_ids)
+        report.findings.extend(
+            f for f in effects_report.findings if f.rule_id in keep_effects
+        )
+        report.errors.extend(effects_report.errors)
         # A syntax-broken file surfaces VAB000 from every pass; keep one.
         unique = {
             (f.path, f.line, f.col, f.rule_id, f.message): f

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.analysis.findings import Finding
 from repro.analysis.incremental import (
@@ -94,13 +94,15 @@ class UnitsReport:
 def analyze_units(
     files: Sequence[Path],
     cache_path: Optional[Path] = None,
+    force_dirty: Optional[Set[str]] = None,
 ) -> UnitsReport:
     """Run the dimensional-analysis engine over ``files``.
 
     With ``cache_path`` the run is incremental: unchanged files (whose
     call-graph dependencies are also unchanged) are served from the
     cache without re-parsing, and the cache is rewritten afterwards.
-    Without it, every file is analyzed cold.
+    Without it, every file is analyzed cold.  ``force_dirty`` paths are
+    re-analyzed (with their dependents) even when their sha matches.
     """
     # ENGINE_VERSION is read at call time so a version bump (or a test
     # monkeypatching it) invalidates existing cache files.
@@ -113,4 +115,5 @@ def analyze_units(
         seed=seed_summaries,
         fixed_point=run_fixed_point,
         summary_from_dict=FunctionSummary.from_dict,
+        force_dirty=force_dirty,
     )

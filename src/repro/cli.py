@@ -223,6 +223,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         baseline=args.baseline,
         update_baseline=args.update_baseline,
         as_json=args.as_json,
+        stats=args.stats,
+        sarif=args.sarif,
     )
 
 

@@ -30,8 +30,9 @@ import os
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Annotated, Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.effects.vocab import PURE
 from repro.obs.manifest import (
     RunManifest,
     manifest_from_dict,
@@ -70,7 +71,7 @@ def _canonical(data: Any) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
-def run_key(manifest: Union[RunManifest, dict]) -> str:
+def run_key(manifest: Union[RunManifest, dict]) -> Annotated[str, PURE]:
     """The content-address of a run's configuration.
 
     SHA-256 over the canonical JSON of :data:`KEY_FIELDS` only, so a
@@ -87,7 +88,7 @@ def run_key(manifest: Union[RunManifest, dict]) -> str:
     return hashlib.sha256(_canonical(identity).encode()).hexdigest()
 
 
-def run_id(manifest: Union[RunManifest, dict]) -> str:
+def run_id(manifest: Union[RunManifest, dict]) -> Annotated[str, PURE]:
     """The content-address of a complete run record (results included).
 
     Volatile per-execution fields (wall-clock stamps, elapsed time,

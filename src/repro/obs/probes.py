@@ -39,10 +39,15 @@ from __future__ import annotations
 import math
 import os
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Annotated, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.effects.vocab import (
+    MUTATES_GLOBAL,
+    READS_ENVIRON,
+    READS_GLOBAL,
+)
 from repro.obs.metrics import counter
 
 PROBE_MODES = ("off", "count", "raise")
@@ -85,7 +90,7 @@ class ProbeViolation(AssertionError):
         )
 
 
-def _initial_mode() -> str:
+def _initial_mode() -> Annotated[str, READS_ENVIRON]:
     mode = os.environ.get(PROBE_ENV, "count").strip().lower()
     return mode if mode in PROBE_MODES else "count"
 
@@ -93,12 +98,12 @@ def _initial_mode() -> str:
 _MODE = _initial_mode()
 
 
-def probe_mode() -> str:
+def probe_mode() -> Annotated[str, READS_GLOBAL]:
     """The current probe mode (``off`` / ``count`` / ``raise``)."""
     return _MODE
 
 
-def set_probe_mode(mode: str) -> str:
+def set_probe_mode(mode: str) -> Annotated[str, READS_GLOBAL, MUTATES_GLOBAL]:
     """Set the probe mode process-wide; returns the previous mode."""
     global _MODE
     if mode not in PROBE_MODES:

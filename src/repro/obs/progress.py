@@ -28,8 +28,9 @@ import os
 import sys
 import threading
 import time
-from typing import IO, Any, Optional
+from typing import IO, Annotated, Any, Optional
 
+from repro.analysis.effects.vocab import READS_ENVIRON, READS_HOST
 from repro.obs.manifest import EventLog
 
 PROGRESS_ENV = "VAB_PROGRESS"
@@ -39,8 +40,13 @@ DEFAULT_MIN_INTERVAL_S = 0.25
 """Floor between display refreshes / heartbeat events."""
 
 
-def progress_enabled(stream: Optional[IO[str]] = None) -> bool:
-    """Whether the live display should run, per env + TTY detection."""
+def progress_enabled(
+    stream: Optional[IO[str]] = None,
+) -> Annotated[bool, READS_ENVIRON, READS_HOST]:
+    """Whether the live display should run, per env + TTY detection.
+
+    The grant is deliberate: this value only drives *display*, never a
+    stored result — VAB022 would flag any result-shaping use."""
     forced = os.environ.get(PROGRESS_ENV, "").strip().lower()
     if forced in ("1", "true", "yes", "on"):
         return True

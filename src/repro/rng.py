@@ -25,9 +25,15 @@ stream between independent experiments in one process.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Annotated, Optional
 
 import numpy as np
+
+from repro.analysis.effects.vocab import (
+    MUTATES_GLOBAL,
+    READS_GLOBAL,
+    RNG_AMBIENT,
+)
 
 DEFAULT_FALLBACK_SEED = 0x5EEDAB5
 """Seed of the process-global fallback stream (arbitrary, documented)."""
@@ -35,7 +41,9 @@ DEFAULT_FALLBACK_SEED = 0x5EEDAB5
 _fallback: Optional[np.random.Generator] = None
 
 
-def fallback_rng() -> np.random.Generator:
+def fallback_rng() -> Annotated[
+    np.random.Generator, READS_GLOBAL, MUTATES_GLOBAL, RNG_AMBIENT
+]:
     """The process-global generator backing omitted ``rng`` parameters.
 
     Library code uses this instead of a bare ``np.random.default_rng()``
@@ -49,7 +57,9 @@ def fallback_rng() -> np.random.Generator:
     return _fallback
 
 
-def reseed_fallback(seed: int = DEFAULT_FALLBACK_SEED) -> np.random.Generator:
+def reseed_fallback(
+    seed: int = DEFAULT_FALLBACK_SEED,
+) -> Annotated[np.random.Generator, MUTATES_GLOBAL]:
     """Reset the fallback stream (e.g. between independent experiments).
 
     Args:

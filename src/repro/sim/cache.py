@@ -26,6 +26,7 @@ from collections import OrderedDict
 from typing import TYPE_CHECKING, Tuple
 
 from repro.acoustics.channel import AcousticChannel, ChannelResponse
+from repro.analysis.effects.vocab import Effectful, Pure
 from repro.geometry.vec3 import Vec3
 from repro.obs.metrics import counter
 
@@ -52,7 +53,9 @@ EVICTIONS_COUNTER = counter(
 )
 
 
-def set_channel_cache_enabled(enabled: bool) -> bool:
+def set_channel_cache_enabled(
+    enabled: bool,
+) -> Effectful[bool, "reads:global", "mutates:global"]:
     """Enable/disable response memoization; returns the old state."""
     global _ENABLED
     old = _ENABLED
@@ -60,7 +63,7 @@ def set_channel_cache_enabled(enabled: bool) -> bool:
     return old
 
 
-def clear_channel_cache() -> None:
+def clear_channel_cache() -> Effectful[None, "mutates:global"]:
     """Explicitly invalidate all memoized channel responses."""
     global _HITS, _MISSES
     _RESPONSE_CACHE.clear()
@@ -68,12 +71,16 @@ def clear_channel_cache() -> None:
     _MISSES = 0
 
 
-def channel_cache_info() -> Tuple[int, int, int, int]:
+def channel_cache_info() -> Effectful[
+    Tuple[int, int, int, int], "reads:global"
+]:
     """(hits, misses, entries, capacity) of the response cache."""
     return _HITS, _MISSES, len(_RESPONSE_CACHE), _RESPONSE_CACHE_MAX
 
 
-def _site_key(channel: AcousticChannel, source: Vec3, receiver: Vec3) -> tuple:
+def _site_key(
+    channel: AcousticChannel, source: Vec3, receiver: Vec3
+) -> Pure[tuple]:
     """Value-equality key over everything trace_paths consumes."""
     return (
         channel.carrier_hz,
@@ -92,12 +99,14 @@ def _site_key(channel: AcousticChannel, source: Vec3, receiver: Vec3) -> tuple:
 
 def cached_between(
     channel: AcousticChannel, source: Vec3, receiver: Vec3
-) -> ChannelResponse:
+) -> Effectful[ChannelResponse, "reads:global", "mutates:global"]:
     """Memoized :meth:`AcousticChannel.between`.
 
     Returns the cached response for this (site, endpoints) pair, tracing
     it on first use. The returned object is shared — treat it as
-    read-only.
+    read-only.  The effect grant covers exactly the memo store and its
+    hit/miss counters: the *computation* (``channel.between``) must stay
+    pure, and VAB017/VAB018 police any effect beyond the grant.
     """
     global _HITS, _MISSES
     if not _ENABLED:
@@ -119,7 +128,9 @@ def cached_between(
     return response
 
 
-def reader_node_response(scenario: "Scenario") -> ChannelResponse:
+def reader_node_response(
+    scenario: "Scenario",
+) -> Effectful[ChannelResponse, "reads:global", "mutates:global"]:
     """The (cached) reader->node multipath response of a scenario."""
     return cached_between(
         scenario.channel(), scenario.reader.position, scenario.node.position

@@ -53,6 +53,7 @@ from contextlib import nullcontext
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.effects.vocab import Effectful
 from repro.obs.ledger import Ledger
 from repro.obs.manifest import EventLog, RunManifest, scenario_snapshot, wall_clock_unix
 from repro.obs.metrics import MetricsRegistry, counter, gauge, use_registry
@@ -79,8 +80,13 @@ UTILIZATION_GAUGE = gauge(
 )
 
 
-def default_workers() -> int:
-    """Worker count when unspecified: all cores, capped at 8."""
+def default_workers() -> Effectful[int, "reads:host"]:
+    """Worker count when unspecified: all cores, capped at 8.
+
+    The host read only tunes scheduling (chunk fan-out), never results:
+    trial outcomes are seeded per-trial, so any worker count replays the
+    same numbers.  The ``reads:host`` grant records exactly that.
+    """
     return max(1, min(os.cpu_count() or 1, 8))
 
 
@@ -427,6 +433,7 @@ def run_observed_campaign(
     honoured the determinism contract.
     """
     from repro import __version__
+    from repro.analysis.effects.cache import ENGINE_VERSION as EFFECTS_ENGINE_VERSION
     from repro.analysis.shapes.cache import ENGINE_VERSION as SHAPES_ENGINE_VERSION
     from repro.analysis.units.cache import ENGINE_VERSION as UNITS_ENGINE_VERSION
     from repro.phy.batch import BATCHED_ENGINE_VERSION
@@ -493,6 +500,7 @@ def run_observed_campaign(
             "phy.batch": BATCHED_ENGINE_VERSION,
             "analysis.units": UNITS_ENGINE_VERSION,
             "analysis.shapes": SHAPES_ENGINE_VERSION,
+            "analysis.effects": EFFECTS_ENGINE_VERSION,
             "vanatta.fastfield": FASTFIELD_ENGINE_VERSION,
         },
     )

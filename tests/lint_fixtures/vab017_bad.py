@@ -1,0 +1,20 @@
+"""Deliberate VAB017 violations: hidden inputs reaching memoized code."""
+
+import functools
+import os
+import time
+
+
+def _gain_override() -> float:
+    """Un-annotated helper: its environ read propagates to callers."""
+    return float(os.getenv("VAB_GAIN", "1.0"))
+
+
+@functools.lru_cache(maxsize=None)
+def cached_gain(freq_hz: float) -> float:
+    return freq_hz * _gain_override()
+
+
+@functools.lru_cache(maxsize=None)
+def cached_stamp(freq_hz: float) -> float:
+    return freq_hz + time.time()

@@ -1,0 +1,14 @@
+"""Clean twin of vab017_bad: every input of a memoized function is an
+argument, so the cache key sees everything that can change the result."""
+
+import functools
+
+
+@functools.lru_cache(maxsize=None)
+def cached_gain(freq_hz: float, gain: float) -> float:
+    return freq_hz * gain
+
+
+@functools.lru_cache(maxsize=None)
+def cached_stamp(freq_hz: float, t0_s: float) -> float:
+    return freq_hz + t0_s

@@ -1,0 +1,16 @@
+"""Clean twin of vab018_bad: the memoized computation is pure and the
+logging happens in the (uncached) caller, so cache hits change nothing."""
+
+import functools
+
+_CALLS = []
+
+
+@functools.lru_cache(maxsize=None)
+def response(key: str) -> str:
+    return key.upper()
+
+
+def logged_response(key: str) -> str:
+    _CALLS.append(key)
+    return response(key)

@@ -1,0 +1,22 @@
+"""Deliberate VAB019 violations: ambient RNG crossing worker boundaries."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def _noisy_trial(snr_db: float) -> float:
+    noise = np.random.normal(0.0, 1.0)
+    return snr_db + noise
+
+
+def _unseeded_trial(snr_db: float) -> float:
+    rng = np.random.default_rng()
+    return snr_db + rng.normal()
+
+
+def run_campaign(snrs: list) -> list:
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(_noisy_trial, snr) for snr in snrs]
+        extra = pool.map(_unseeded_trial, snrs)
+    return [f.result() for f in futures] + list(extra)

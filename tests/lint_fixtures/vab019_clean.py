@@ -1,0 +1,21 @@
+"""Clean twin of vab019_bad: every worker stream derives from the
+campaign's SeedSequence spawn, threaded through the parameters."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def _seeded_trial(snr_db: float, seed: object) -> float:
+    rng = np.random.default_rng(seed)
+    return snr_db + rng.normal()
+
+
+def run_campaign(snrs: list, seed: int = 1234) -> list:
+    children = np.random.SeedSequence(seed).spawn(len(snrs))
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(_seeded_trial, snr, child)
+            for snr, child in zip(snrs, children)
+        ]
+    return [f.result() for f in futures]

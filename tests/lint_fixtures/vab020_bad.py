@@ -1,0 +1,13 @@
+"""Deliberate VAB020 violations: unpicklable callables crossing the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_campaign(snrs: list, gain: float) -> list:
+    def _scaled(snr_db: float) -> float:
+        return snr_db * gain
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(_scaled, snr) for snr in snrs]
+        doubled = pool.map(lambda snr: snr * 2.0, snrs)
+    return [f.result() for f in futures] + list(doubled)

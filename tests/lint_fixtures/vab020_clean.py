@@ -1,0 +1,14 @@
+"""Clean twin of vab020_bad: module-level functions pickle; captured
+state travels as explicit arguments."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _scaled(snr_db: float, gain: float) -> float:
+    return snr_db * gain
+
+
+def run_campaign(snrs: list, gain: float) -> list:
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(_scaled, snr, gain) for snr in snrs]
+    return [f.result() for f in futures]

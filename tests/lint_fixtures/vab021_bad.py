@@ -1,0 +1,16 @@
+"""Deliberate VAB021 violation: a version constant missing from the
+``engine_versions={...}`` manifest stamp."""
+
+KERNEL_ENGINE_VERSION = 3
+FASTPATH_ENGINE_VERSION = 7
+
+
+def build_meta(engine_versions: dict) -> dict:
+    return dict(engine_versions)
+
+
+def write_manifest(record: dict) -> dict:
+    record["meta"] = build_meta(
+        engine_versions={"kernel": KERNEL_ENGINE_VERSION},
+    )
+    return record

@@ -1,0 +1,19 @@
+"""Clean twin of vab021_bad: every version constant reaches the stamp,
+so results from different engine versions never share a run_key."""
+
+KERNEL_ENGINE_VERSION = 3
+FASTPATH_ENGINE_VERSION = 7
+
+
+def build_meta(engine_versions: dict) -> dict:
+    return dict(engine_versions)
+
+
+def write_manifest(record: dict) -> dict:
+    record["meta"] = build_meta(
+        engine_versions={
+            "kernel": KERNEL_ENGINE_VERSION,
+            "fastpath": FASTPATH_ENGINE_VERSION,
+        },
+    )
+    return record

@@ -1,0 +1,13 @@
+"""Deliberate VAB022 violations: host configuration leaking into results."""
+
+import os
+
+
+def chunk_hint(total: int) -> int:
+    workers = os.cpu_count() or 1
+    return max(1, total // workers)
+
+
+def run_label(base: str) -> str:
+    suffix = os.environ.get("VAB_SUFFIX", "")
+    return base + suffix

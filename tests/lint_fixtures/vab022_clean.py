@@ -1,0 +1,19 @@
+"""Clean twin of vab022_bad: the host read carries a declared
+``reads:host`` grant (it only tunes scheduling) and result-shaping
+values arrive as arguments."""
+
+import os
+
+from repro.analysis.effects.vocab import Effectful
+
+
+def default_workers() -> Effectful[int, "reads:host"]:
+    return max(1, os.cpu_count() or 1)
+
+
+def chunk_hint(total: int, workers: int) -> int:
+    return max(1, total // workers)
+
+
+def run_label(base: str, suffix: str) -> str:
+    return base + suffix

@@ -245,3 +245,291 @@ def test_lint_annotations_never_fails_the_step(tmp_path, capsys):
     assert lint_annotations.main([str(bad)]) == 0
     assert lint_annotations.main([]) == 0
     assert capsys.readouterr().out == ""
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0 export (--sarif)
+# ---------------------------------------------------------------------------
+
+# Vendored subset of the SARIF 2.1.0 schema: the properties the GitHub
+# code-scanning ingestion actually requires.  The full schema is ~500 kB
+# and network access is not available in CI, so we pin the load-bearing
+# structure here and validate with jsonschema.
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"const": "2.1.0"},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error",
+                                    ],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def test_sarif_log_validates_against_the_2_1_0_schema(tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    sarif_path = tmp_path / "lint.sarif"
+    code, _ = _run(
+        [FIXTURES / "vab017_bad.py"], units=True, sarif=str(sarif_path)
+    )
+    assert code == EXIT_FINDINGS
+    log = json.loads(sarif_path.read_text(encoding="utf-8"))
+    jsonschema.validate(log, SARIF_SUBSET_SCHEMA)
+
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "vablint"
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    # The catalogue spans the parse sentinel, the per-file registry,
+    # and all three engines.
+    assert {"VAB000", "VAB001", "VAB006", "VAB011", "VAB017", "VAB022"} <= rule_ids
+    assert run["results"], "findings must surface as SARIF results"
+    for result in run["results"]:
+        assert result["ruleId"].startswith("VAB")
+        assert result["level"] == "warning"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+
+def test_sarif_parse_errors_map_to_level_error(tmp_path):
+    sarif_path = tmp_path / "lint.sarif"
+    _run([FIXTURES / "broken_syntax.py"], sarif=str(sarif_path))
+    log = json.loads(sarif_path.read_text(encoding="utf-8"))
+    results = log["runs"][0]["results"]
+    assert [r["ruleId"] for r in results] == ["VAB000"]
+    assert results[0]["level"] == "error"
+
+
+def test_sarif_clean_run_writes_an_empty_result_set(tmp_path):
+    sarif_path = tmp_path / "lint.sarif"
+    code, _ = _run([FIXTURES / "vab017_clean.py"], units=True,
+                   sarif=str(sarif_path))
+    assert code == EXIT_CLEAN
+    log = json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert log["runs"][0]["results"] == []
+
+
+# ---------------------------------------------------------------------------
+# --stats: per-engine timing and cache hit/miss counts
+# ---------------------------------------------------------------------------
+
+
+def test_stats_block_is_opt_in():
+    """Wall-clock timings must never leak into the default (byte-
+    deterministic) payloads."""
+    _, text = _run([FIXTURES / "vab017_clean.py"], units=True, as_json=True)
+    assert "stats" not in json.loads(text)
+    _, text = _run([FIXTURES / "vab017_clean.py"], units=True)
+    assert "--- lint stats ---" not in text
+
+
+def test_stats_reports_cache_hits_on_a_warm_run(tmp_path):
+    cache = tmp_path / "units_cache.json"
+    _run([FIXTURES / "vab017_clean.py"], units=True,
+         units_cache=str(cache), as_json=True, stats=True)
+    code, text = _run([FIXTURES / "vab017_clean.py"], units=True,
+                      units_cache=str(cache), as_json=True, stats=True)
+    assert code == EXIT_CLEAN
+    stats = json.loads(text)["stats"]
+    for engine in ("units", "shapes", "effects"):
+        assert stats[engine]["hits"] > 0, engine
+        assert stats[engine]["misses"] == 0, engine
+        assert stats[engine]["passes"] >= 1, engine
+    assert "rules" in stats["timings_s"]
+    assert all(v >= 0 for v in stats["timings_s"].values())
+
+
+def test_stats_text_block_renders_per_engine_lines(tmp_path):
+    cache = tmp_path / "units_cache.json"
+    _, text = _run([FIXTURES / "vab017_clean.py"], units=True,
+                   units_cache=str(cache), stats=True)
+    assert "--- lint stats ---" in text
+    for engine in ("units:", "shapes:", "effects:"):
+        assert engine in text
+
+
+# ---------------------------------------------------------------------------
+# --changed: engines keep whole-call-graph visibility
+# ---------------------------------------------------------------------------
+
+
+def _git_repo_with_effect_pair(tmp_path):
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True, capture_output=True
+        )
+
+    git("init", "-q")
+    git("config", "user.email", "lint@test")
+    git("config", "user.name", "lint")
+    (tmp_path / "producer.py").write_text(
+        "def knob() -> str:\n"
+        '    return "x"\n'
+    )
+    (tmp_path / "caller.py").write_text(
+        "from functools import lru_cache\n"
+        "\n"
+        "from producer import knob\n"
+        "\n"
+        "\n"
+        "@lru_cache(maxsize=None)\n"
+        "def cached_knob() -> str:\n"
+        "    return knob()\n"
+    )
+    git("add", "-A")
+    git("commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def _make_producer_effectful(repo):
+    (repo / "producer.py").write_text(
+        "import os\n"
+        "\n"
+        "\n"
+        "def knob() -> str:\n"
+        '    return os.getenv("REPRO_KNOB", "x")\n'
+    )
+
+
+@needs_git
+def test_changed_reanalyzes_dependents_of_changed_files(tmp_path, monkeypatch):
+    """Regression: ``--changed`` scopes the *per-file* rules to the
+    dirty files, but the dataflow engines must still see the whole tree
+    — an effect introduced in producer.py has to surface the VAB017 in
+    the unchanged caller.py."""
+    repo = _git_repo_with_effect_pair(tmp_path)
+    _make_producer_effectful(repo)
+    monkeypatch.chdir(repo)
+    code, text = _run([repo], changed="HEAD", units=True, as_json=True)
+    assert code == EXIT_FINDINGS
+    payload = json.loads(text)
+    assert payload["files"] == 1  # per-file rules stay scoped to the edit
+    hits = {(Path(f["path"]).name, f["rule"]) for f in payload["findings"]}
+    assert ("caller.py", "VAB017") in hits
+
+
+@needs_git
+def test_changed_invalidates_warm_engine_caches(tmp_path, monkeypatch):
+    """Same regression with a primed cache: the changed file is forced
+    dirty even when the cache already holds its (stale) summaries, and
+    the dependent closure pulls the unchanged caller with it."""
+    repo = _git_repo_with_effect_pair(tmp_path)
+    monkeypatch.chdir(repo)
+    cache = repo / ".vablint_units_cache.json"
+    code, _ = _run([repo], units=True, units_cache=str(cache), as_json=True)
+    assert code == EXIT_CLEAN  # primes all three engine caches
+
+    _make_producer_effectful(repo)
+    code, text = _run([repo], changed="HEAD", units=True,
+                      units_cache=str(cache), as_json=True)
+    assert code == EXIT_FINDINGS
+    hits = {(Path(f["path"]).name, f["rule"])
+            for f in json.loads(text)["findings"]}
+    assert ("caller.py", "VAB017") in hits
+
+
+# ---------------------------------------------------------------------------
+# baseline round-trip across all three engines
+# ---------------------------------------------------------------------------
+
+
+def test_update_baseline_covers_all_three_engines_in_one_pass(tmp_path):
+    targets = [
+        FIXTURES / "vab006_bad.py",   # units finding
+        FIXTURES / "vab013_bad.py",   # shapes finding
+        FIXTURES / "vab017_bad.py",   # effects finding
+    ]
+    baseline = tmp_path / "baseline.json"
+    code, _ = _run(targets, units=True,
+                   baseline=str(baseline), update_baseline=True)
+    assert code == EXIT_CLEAN and baseline.is_file()
+
+    recorded = json.loads(baseline.read_text(encoding="utf-8"))
+    keys = "\n".join(recorded["entries"])
+    for rule in ("VAB006", "VAB013", "VAB017"):
+        assert f"::{rule}::" in keys, rule
+
+    code, text = _run(targets, units=True,
+                      baseline=str(baseline), as_json=True)
+    assert code == EXIT_CLEAN
+    payload = json.loads(text)
+    assert payload["clean"] is True
+    assert payload["findings"] == []

@@ -582,6 +582,22 @@ class TestBenchCompare:
         with pytest.raises(SystemExit):
             bench_compare.main(["--dir", str(tmp_path), "--arms", "warp"])
 
+    def test_lint_warm_gates_on_its_own_threshold(self):
+        # lint_warm alerts only past its 2x-slower override, not the
+        # global 20% default: warm-lint wall time is sub-second and
+        # jitters far more than the campaign arms.
+        bench_compare = load_tool("bench_compare")
+        old = self.record(100.0)
+        new = self.record(95.0)
+        old["lint_warm"] = {"trials_per_sec": 300.0, "trials": 366}
+        new["lint_warm"] = {"trials_per_sec": 180.0, "trials": 366}
+        _, regressions = bench_compare.compare(old, new)
+        assert regressions == []  # -40% is within the lint_warm budget
+
+        new["lint_warm"]["trials_per_sec"] = 120.0  # -60%: > 2x slower
+        _, regressions = bench_compare.compare(old, new)
+        assert [r["arm"] for r in regressions] == ["lint_warm"]
+
     def test_fewer_than_two_records_is_not_an_error(self, tmp_path, capsys):
         bench_compare = load_tool("bench_compare")
         assert bench_compare.main(["--dir", str(tmp_path)]) == 0

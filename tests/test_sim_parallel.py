@@ -290,3 +290,14 @@ class TestBenchSmoke:
         }
         for stage in ("batch", "channel", "reflect", "noise", "demod"):
             assert record["stage_timings"][stage]["count"] >= 1
+
+    def test_lint_warm_arm_times_a_fully_warm_three_engine_run(self):
+        bench = self.load_bench()
+        target = ROOT / "src" / "repro" / "analysis" / "effects"
+        arm = bench.run_lint_warm_bench(target=target, repeats=2)
+        assert arm["files"] >= 4
+        assert arm["repeats"] == 2
+        assert arm["trials"] == arm["files"] * 2
+        assert arm["trials_per_sec"] > 0
+        # Every file must be served by every engine from the warm cache.
+        assert arm["cache_hits_per_run"] == 3 * arm["files"]

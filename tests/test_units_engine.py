@@ -215,11 +215,13 @@ def test_cached_findings_match_cold_findings_exactly(tmp_path):
     warm = lint_paths(bad, units=True, units_cache=cache)
     assert warm.units_stats["analyzed"] == 0
     assert warm.shapes_stats["analyzed"] == 0
+    assert warm.effects_stats["analyzed"] == 0
     cold_payload = json.loads(render_json(cold))
     warm_payload = json.loads(render_json(warm))
     for payload in (cold_payload, warm_payload):
         payload.pop("units")
         payload.pop("shapes")
+        payload.pop("effects")
     assert cold_payload == warm_payload
 
 

@@ -34,7 +34,9 @@ from typing import List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-GATED_ARMS = ("optimized_serial", "optimized_parallel", "arrayfactor")
+GATED_ARMS = (
+    "optimized_serial", "optimized_parallel", "arrayfactor", "lint_warm"
+)
 """Arms whose regressions fail the check. ``seed_baseline`` is an
 emulation of historical code, ``serial_fallback`` is the pinned
 per-trial path kept for exotic receiver configs, and
@@ -42,6 +44,13 @@ per-trial path kept for exotic receiver configs, and
 array-factor kernel is scored against — informational only."""
 
 INFO_ARMS = ("seed_baseline", "serial_fallback", "arrayfactor_loop")
+
+ARM_THRESHOLDS = {"lint_warm": 0.50}
+"""Per-arm overrides of the global ``--threshold``. ``lint_warm``
+times a sub-second warm-cache lint, so small-box jitter is large in
+relative terms; it alerts only when the warm lint gets more than 2x
+slower (files/sec halves) — the signature of a cache-key or
+dependent-closure bug, not noise."""
 
 
 def bench_paths(root: Path) -> List[Path]:
@@ -73,8 +82,9 @@ def compare(
 
     Returns ``(rows, regressions)``: one row per arm present in both
     records (with old/new rates and the relative change), and the
-    subset of gated arms whose throughput dropped by more than
-    ``threshold``. ``arms`` restricts which arms are gated (default:
+    subset of gated arms whose throughput dropped by more than the
+    arm's threshold (:data:`ARM_THRESHOLDS` override, else
+    ``threshold``). ``arms`` restricts which arms are gated (default:
     every arm in :data:`GATED_ARMS`); the table still lists all arms.
     """
     gated = GATED_ARMS if arms is None else tuple(arms)
@@ -94,7 +104,7 @@ def compare(
             "gated": arm in gated,
         }
         rows.append(row)
-        if arm in gated and change < -threshold:
+        if arm in gated and change < -ARM_THRESHOLDS.get(arm, threshold):
             regressions.append(row)
     return rows, regressions
 

@@ -16,6 +16,11 @@ Measures trials/sec of four execution arms on the same seeded campaign
 * ``optimized_parallel`` — the batched engine sharded by point over a
   ``ProcessPoolExecutor``.
 
+A ``lint_warm`` arm (:func:`run_lint_warm_bench`) times the
+three-engine ``vablint`` run over ``src/repro`` served entirely from
+warm incremental caches (files/sec), so ``bench_compare`` can alert
+when the warm lint path gets more than 2x slower.
+
 A fifth pair of arms benchmarks the Van Atta array-factor kernel
 (``arrayfactor`` vs the ``arrayfactor_loop`` per-pair reference; see
 :func:`run_arrayfactor_bench`): a monostatic pattern sweep of a
@@ -109,6 +114,7 @@ def lint_gate(allow_dirty: bool) -> Optional[dict]:
     tree — or ``None`` when the tree is dirty and ``allow_dirty`` is
     false (the caller must refuse to write).
     """
+    from repro.analysis.effects import ENGINE_VERSION as EFFECTS_ENGINE_VERSION
     from repro.analysis.shapes import ENGINE_VERSION as SHAPES_ENGINE_VERSION
     from repro.analysis.units import ENGINE_VERSION
 
@@ -117,6 +123,7 @@ def lint_gate(allow_dirty: bool) -> Optional[dict]:
         return None
     record["units_engine_version"] = ENGINE_VERSION
     record["shapes_engine_version"] = SHAPES_ENGINE_VERSION
+    record["effects_engine_version"] = EFFECTS_ENGINE_VERSION
     return record
 
 
@@ -237,6 +244,50 @@ def run_arrayfactor_bench(
         "arrayfactor_speedup": round(batched_rate / loop_rate, 2),
         "arrayfactor_parity": parity,
     }
+
+
+LINT_WARM_REPEATS = 3
+
+
+def run_lint_warm_bench(
+    target: Optional[Path] = None, repeats: int = LINT_WARM_REPEATS
+) -> dict:
+    """The ``lint_warm`` arm: warm-cache full-tree three-engine lint.
+
+    Primes the units/shapes/effects incremental caches in a throwaway
+    directory, then times ``repeats`` fully-warm runs over ``target``
+    (default ``src/repro``). One "trial" is one file served per run, so
+    ``trials_per_sec`` is files/sec and comparable across record
+    generations. This guards the warm path itself: a cache-key or
+    dependent-closure bug that forces spurious re-analysis shows up
+    here as a throughput collapse long before anyone notices CI
+    slowing down.
+    """
+    import tempfile
+
+    from repro.analysis import lint_paths
+
+    if target is None:
+        target = REPO_ROOT / "src" / "repro"
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / ".vablint_units_cache.json"
+        lint_paths([target], units=True, units_cache=cache)  # prime
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            report = lint_paths([target], units=True, units_cache=cache)
+        arm = _arm(time.perf_counter() - t0, report.files * repeats)
+    arm["files"] = report.files
+    arm["repeats"] = repeats
+    reused = sum(
+        stats["reused"]
+        for stats in (report.units_stats, report.shapes_stats,
+                      report.effects_stats)
+        if stats is not None
+    )
+    # 3 engines x files on a healthy warm run; anything less means the
+    # caches are not actually serving the tree.
+    arm["cache_hits_per_run"] = reused
+    return arm
 
 
 def run_bench(
@@ -414,6 +465,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         record = run_bench(trials_per_point=args.trials, ranges_m=ranges,
                            workers=args.workers, seed=args.seed,
                            bench_name=args.out.stem)
+
+    # The warm-lint arm rides every record (smoke included): it times
+    # the three-engine lint served entirely from warm incremental
+    # caches, so bench_compare can alert when the warm path degrades.
+    record["lint_warm"] = run_lint_warm_bench()
 
     if lint_record is not None:
         record["lint"] = lint_record

@@ -128,6 +128,12 @@ deterministic regardless of job count).
 | `VAB014` | cache-mutation | (`--units`) no in-place writes to arrays handed out by the worker/cache boundary (`reader_node_response`, `cached_between`) — copy first |
 | `VAB015` | set-order-accumulation | (`--units`) no order-dependent accumulation (`+=`, RNG draws) driven by iteration over `set`/`frozenset` — sort first |
 | `VAB016` | shape-contract-violation | (`--units`) no returns or call arguments contradicting a `Shaped[...]` contract (rank, named dims, dtype family) |
+| `VAB017` | hidden-cache-input | (`--units`) no hidden input (environ, wall-clock, filesystem, host config, mutable global, ambient RNG) reaching a memoized or content-addressed computation whose cache key cannot see it |
+| `VAB018` | cache-hit-divergence | (`--units`) no side effect (global/argument mutation, file write) escaping a memoized function — it happens on the computing call and never again on a cache hit |
+| `VAB019` | worker-rng-indiscipline | (`--units`) no callable crossing the process boundary that draws from an ambient RNG stream instead of a `SeedSequence`-derived generator threaded through its parameters |
+| `VAB020` | unpicklable-submit | (`--units`) no lambdas or closure-capturing nested functions on the `ProcessPool` submit path |
+| `VAB021` | version-stamp-completeness | (`--units`) every `*_ENGINE_VERSION` constant must flow into an `engine_versions={...}` manifest stamp (and hence the `run_key`) |
+| `VAB022` | host-dependent-result | (`--units`) no host-configuration read (`os.cpu_count()`, TTY/CI detection, locale) flowing into a returned value without a declared `reads:host` grant |
 
 ### Dimensional analysis (`--units`)
 
@@ -205,16 +211,83 @@ engine shares the incremental cache format (sibling
 baseline, the suppression syntax, and the JSON report (a `shapes`
 stats block next to `units`).
 
+### Effect/purity analysis (also `--units`)
+
+VAB017..VAB022 come from `repro.analysis.effects`: a third
+flow-sensitive, interprocedural engine over the same call-graph
+machinery that tracks *effects* — which functions read ambient state,
+which mutate state, and which callables cross the `ProcessPool`
+process boundary. Effects are nine atoms (`reads:environ`,
+`reads:clock`, `reads:file`, `reads:host`, `reads:global`,
+`mutates:global`, `mutates:arg`, `writes:file`, `rng:ambient`), seeded
+from a curated signature DB (`repro.analysis.effects.sigdb`: `os`,
+`time`, `locale`, `numpy.random`, the repro cache/RNG API) and from
+contracts in `repro.analysis.effects.vocab`::
+
+    from repro.analysis.effects.vocab import Effectful, Pure
+
+    def _site_key(channel, source, receiver) -> Pure[tuple]: ...
+
+    def default_workers() -> Effectful[int, "reads:host"]: ...
+
+`Pure[T]` declares "the result depends only on the arguments, no
+observable side effects" — the property memoization and the
+content-addressed ledger rest on. `Effectful[T, atoms...]` is a
+*grant*: the named effects are intentional and documented, so the
+engine reports only effects the contract does **not** cover.
+Un-annotated callers inherit their callees' effects through the fixed
+point, so a hidden input two calls deep still reaches the rule at the
+memoization boundary. (For mypy-gated modules the same contracts are
+spelled `Annotated[T, READS_HOST]` with the tag constants.)
+
+The flagship catch is **cache poisoning by a hidden input** (VAB017).
+This looks harmless::
+
+    @lru_cache(maxsize=None)
+    def cached_gain(range_m: float) -> float:
+        trim = float(os.getenv("VAB_GAIN_TRIM", "0.0"))  # VAB017
+        return spreading_loss_db(range_m) + trim
+
+The cache key is `range_m` alone; the environ read is invisible to it.
+The first call bakes whatever `VAB_GAIN_TRIM` happened to be into the
+memo, and every later call — any trim, any caller — replays that
+stale value. Under a *content-addressed* store (`repro.obs.ledger`
+keys results by config sha) the damage is durable: the poisoned number
+is filed under a key that claims to fully describe it, and dedupe
+serves it to every future run with the same config. The fix is
+mechanical: pass the trim as an argument (it joins the key), or —
+when the read genuinely must not enter the key (a display knob, a
+scheduling hint) — declare `Effectful[..., "reads:environ"]` to
+accept the contract visibly.
+
+The same machinery proves the version-stamp manifest complete
+(VAB021): every `*_ENGINE_VERSION` constant anywhere in the tree must
+flow into the `engine_versions={...}` stamp that
+`repro.sim.parallel` embeds in campaign manifests (and hence into
+`run_key`), so adding an engine without stamping it fails lint
+instead of silently colliding ledger entries. The determinism hot
+paths (`repro.sim.cache`, `repro.sim.parallel`, `repro.obs.ledger`,
+`repro.rng`) carry explicit contracts; the committed tree is
+effect-clean with zero suppressions.
+
 **Incremental cache** — `--units-cache PATH` (tool default
 `.vablint_units_cache.json`, git-ignored) keys per-file results by
-content sha256 + engine version; the shapes engine keeps a sibling
-cache at the derived `.vablint_shapes_cache.json` path. An edit
-re-analyzes only the file and its call-graph dependents; everything
-else is replayed byte-identically from cache. `--no-units-cache`
-forces a cold run (what CI does); version bumps and damaged caches
-degrade to cold runs automatically. For an even faster inner loop,
-`--changed [REF]` restricts linting to files that differ from a git
-ref (default `HEAD`) plus untracked files.
+content sha256 + engine version; the shapes and effects engines keep
+sibling caches at the derived `.vablint_shapes_cache.json` /
+`.vablint_effects_cache.json` paths. An edit re-analyzes only the
+file and its call-graph dependents; everything else is replayed
+byte-identically from cache. `--no-units-cache` forces a cold run
+(what CI does); version bumps and damaged caches degrade to cold runs
+automatically. For an even faster inner loop, `--changed [REF]`
+restricts the per-file rules to files that differ from a git ref
+(default `HEAD`) plus untracked files — the dataflow engines still
+see the whole tree (so a contract edit surfaces findings in unchanged
+dependents) but force the changed files and their dependents through
+re-analysis. `--stats` appends per-engine wall-clock timings and
+cache hit/miss counts to the report (embedded under `"stats"` in JSON
+mode; opt-in so the default report stays byte-deterministic), and
+`--sarif PATH` additionally writes a SARIF 2.1.0 log for GitHub code
+scanning.
 
 **Differential baseline** — `--baseline lint_baseline.json` absorbs
 known findings (keyed by `path::rule::message`, line-number-free so
@@ -271,14 +344,20 @@ rule ids and the clean/dirty verdict. Campaign manifests record it via
 `python -m repro sweep --manifest run.json --lint-fingerprint`), and
 `tools/bench_perf.py` refuses to write a `BENCH_<n>.json` from a tree
 that does not lint clean (`--allow-dirty-lint` overrides); the lint
-record in each BENCH file carries `units_engine_version` and
-`shapes_engine_version` so perf history pins which checkers vetted the
-tree (campaign manifests stamp the same versions under
-`engine_versions`). CI runs the full gate — per-file rules plus
+record in each BENCH file carries `units_engine_version`,
+`shapes_engine_version`, and `effects_engine_version` so perf history
+pins which checkers vetted the tree (campaign manifests stamp the
+same versions under `engine_versions` — completeness enforced by
+VAB021). Each BENCH record also carries a `lint_warm` arm: the
+three-engine lint over `src/repro` served entirely from warm
+incremental caches, in files/sec; `tools/bench_compare.py` alerts
+when it gets more than 2x slower (the signature of a cache-key or
+dependent-closure bug). CI runs the full gate — per-file rules plus
 `--units`, differenced against the committed `lint_baseline.json` —
 before the typed-API check, renders the JSON report as inline GitHub
-problem-matcher annotations (`tools/lint_annotations.py`), and uploads
-the report as a build artifact.
+problem-matcher annotations (`tools/lint_annotations.py`), uploads
+the SARIF log to code scanning, and keeps both reports as build
+artifacts.
 
 ### Typed-API gate
 

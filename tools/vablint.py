@@ -9,8 +9,11 @@ interprocedural dataflow rules: dimensional analysis
 rad/s, m vs km, call-site unit conflicts) and shape/dtype analysis
 (``VAB011``..``VAB016``: silent broadcasts, batch-collapsing
 reductions, complex->real downcasts, shared-array mutation, unordered
-accumulation, shape-contract violations). See ``repro.analysis`` for
-the framework and ``--catalogue`` for the rules.
+accumulation, shape-contract violations) and effect/purity analysis
+(``VAB017``..``VAB022``: hidden cache inputs, cache-hit divergence,
+worker RNG indiscipline, unpicklable submissions, version-stamp
+completeness, host-dependent results). See ``repro.analysis`` for the
+framework and ``--catalogue`` for the rules.
 
 Usage::
 
@@ -86,6 +89,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         baseline=args.baseline,
         update_baseline=args.update_baseline,
         as_json=args.as_json,
+        stats=args.stats,
+        sarif=args.sarif,
     )
 
 
